@@ -1,0 +1,117 @@
+// Command respect-graphgen exports computational graphs — the model zoo's
+// twelve ImageNet DAGs or synthetic training graphs — as JSON or Graphviz,
+// and prints their Table I statistics.
+//
+// Examples:
+//
+//	respect-graphgen -list
+//	respect-graphgen -model DenseNet121 -json densenet121.json
+//	respect-graphgen -synth -nodes 30 -deg 4 -count 3 -json synth.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+	"respect/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("respect-graphgen: ")
+
+	var (
+		list      = flag.Bool("list", false, "list model-zoo graphs with their statistics")
+		modelName = flag.String("model", "", "model-zoo graph to export")
+		doSynth   = flag.Bool("synth", false, "sample synthetic training graphs instead")
+		nodes     = flag.Int("nodes", 30, "synthetic |V|")
+		deg       = flag.Int("deg", 4, "synthetic max in-degree")
+		count     = flag.Int("count", 1, "number of synthetic graphs")
+		seed      = flag.Int64("seed", 1, "synthetic sampler seed")
+		jsonPath  = flag.String("json", "", "write graph JSON here (use %d for multi-graph synth output)")
+		dotPath   = flag.String("dot", "", "write Graphviz here")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-20s %6s %6s %6s %12s\n", "model", "|V|", "deg", "depth", "params(MiB)")
+		for _, name := range models.Names() {
+			g := models.MustLoad(name)
+			s := g.Stats()
+			fmt.Printf("%-20s %6d %6d %6d %12.2f\n", name, s.V, s.Deg, s.Depth,
+				float64(g.TotalParamBytes())/(1<<20))
+		}
+	case *modelName != "":
+		g, err := models.Load(*modelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(g, *jsonPath, *dotPath)
+	case *doSynth:
+		cfg := synth.DefaultConfig(*deg)
+		cfg.NumNodes = *nodes
+		s, err := synth.NewSampler(cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *count; i++ {
+			g := s.Sample()
+			jp := *jsonPath
+			if jp != "" && *count > 1 {
+				jp = fmt.Sprintf(insertIndex(jp), i)
+			}
+			emit(g, jp, "")
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// insertIndex turns "x.json" into "x.%d.json" unless %d is already there.
+func insertIndex(path string) string {
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == '%' && path[i+1] == 'd' {
+			return path
+		}
+	}
+	ext := ""
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '.' {
+			base, ext = path[:i], path[i:]
+			break
+		}
+	}
+	return base + ".%d" + ext
+}
+
+func emit(g *graph.Graph, jsonPath, dotPath string) {
+	s := g.Stats()
+	fmt.Printf("%s: |V|=%d deg=%d depth=%d edges=%d params=%.2f MiB\n",
+		g.Name, s.V, s.Deg, s.Depth, g.NumEdges(), float64(g.TotalParamBytes())/(1<<20))
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(g.DOT(nil)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", dotPath)
+	}
+}

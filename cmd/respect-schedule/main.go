@@ -1,0 +1,156 @@
+// Command respect-schedule schedules a DNN computational graph onto an
+// n-stage Edge TPU pipeline with a chosen scheduler, reports the memory /
+// communication objective, and simulates on-chip inference.
+//
+// Examples:
+//
+//	respect-schedule -model ResNet152 -stages 6 -scheduler exact
+//	respect-schedule -model Xception -stages 4 -scheduler rl -agent respect.gob
+//	respect-schedule -graph my.json -stages 4 -scheduler compiler -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"respect/internal/exact"
+	"respect/internal/graph"
+	"respect/internal/heur"
+	"respect/internal/models"
+	"respect/internal/ptrnet"
+	"respect/internal/rl"
+	"respect/internal/sched"
+	"respect/internal/tpu"
+
+	"respect/internal/embed"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("respect-schedule: ")
+
+	var (
+		modelName = flag.String("model", "", "model-zoo graph (one of respect's twelve ImageNet models)")
+		graphPath = flag.String("graph", "", "path to a graph JSON (alternative to -model)")
+		stages    = flag.Int("stages", 4, "pipeline stages")
+		scheduler = flag.String("scheduler", "exact", "rl | exact | exact-ilp-grade | compiler | list | hu | force | dp | anneal")
+		agentPath = flag.String("agent", "", "trained agent weights (required for -scheduler rl)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "exact solver budget")
+		samples   = flag.Int("samples", 0, "extra stochastic decodes for -scheduler rl (best-of-K)")
+		beam      = flag.Int("beam", 0, "beam width for -scheduler rl (overrides greedy decode)")
+		dotPath   = flag.String("dot", "", "write a stage-colored Graphviz rendering here")
+		simulate  = flag.Bool("sim", true, "simulate pipelined inference on the Coral platform model")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*modelName, *graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("graph %s: |V|=%d deg(V)=%d depth=%d params=%.2f MiB\n",
+		g.Name, st.V, st.Deg, st.Depth, float64(g.TotalParamBytes())/(1<<20))
+
+	start := time.Now()
+	s, note, err := run(*scheduler, g, *stages, *agentPath, *timeout, *samples, *beam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solve := time.Since(start)
+
+	s = sched.PostProcess(g, s)
+	cost := s.Evaluate(g)
+	fmt.Printf("scheduler %s%s: solve time %v\n", *scheduler, note, solve)
+	fmt.Printf("objective: %v\n", cost)
+	for k, m := range s.StageParamBytes(g) {
+		fmt.Printf("  stage %d: %8.3f MiB params\n", k, float64(m)/(1<<20))
+	}
+
+	if *simulate {
+		rep, err := tpu.Simulate(g, s, tpu.Coral())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("simulated pipeline: bottleneck %v, fill latency %v, %.1f inf/s, %.3f mJ/inf\n",
+			rep.Bottleneck, rep.Latency, rep.Throughput(), rep.EnergyPerInference*1e3)
+	}
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(g.DOT(s.Stage)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}
+
+func loadGraph(model, path string) (*graph.Graph, error) {
+	switch {
+	case model != "" && path != "":
+		return nil, fmt.Errorf("use -model or -graph, not both")
+	case model != "":
+		return models.Load(model)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadJSON(f)
+	default:
+		return nil, fmt.Errorf("one of -model or -graph is required (models: %v)", models.Names())
+	}
+}
+
+func run(name string, g *graph.Graph, stages int, agentPath string, timeout time.Duration, samples, beam int) (sched.Schedule, string, error) {
+	switch name {
+	case "rl":
+		if agentPath == "" {
+			return sched.Schedule{}, "", fmt.Errorf("-scheduler rl needs -agent (train one with respect-train)")
+		}
+		m, err := ptrnet.LoadFile(agentPath)
+		if err != nil {
+			return sched.Schedule{}, "", err
+		}
+		if beam > 1 {
+			s, err := rl.ScheduleBeam(m, embed.Default(), g, stages, beam)
+			return s, fmt.Sprintf(" (beam width %d)", beam), err
+		}
+		if samples > 0 {
+			s, err := rl.ScheduleSampled(m, embed.Default(), g, stages, samples, 1)
+			return s, fmt.Sprintf(" (best of %d samples + greedy)", samples), err
+		}
+		s, err := rl.Schedule(m, embed.Default(), g, stages)
+		return s, "", err
+	case "exact":
+		res := exact.Solve(g, stages, exact.Options{Timeout: timeout, MaxStates: 200_000_000})
+		note := ""
+		if !res.Optimal {
+			note = " (budget hit; incumbent, not proven optimal)"
+		}
+		return res.Schedule, note, nil
+	case "exact-ilp-grade":
+		res := exact.Solve(g, stages, exact.Options{Timeout: timeout, MaxStates: 200_000_000, TieBreakCross: true})
+		note := ""
+		if !res.Optimal {
+			note = " (budget hit; incumbent, not proven optimal)"
+		}
+		return res.Schedule, note, nil
+	case "compiler":
+		return heur.GreedyBalanced(g, stages), "", nil
+	case "list":
+		return heur.ListSchedule(g, stages), "", nil
+	case "hu":
+		return heur.HuLevel(g, stages), "", nil
+	case "force":
+		return heur.ForceDirected(g, stages), "", nil
+	case "dp":
+		return heur.DPBudget(g, stages), "", nil
+	case "anneal":
+		return heur.Annealed(g, stages, 5000, 1), "", nil
+	default:
+		return sched.Schedule{}, "", fmt.Errorf("unknown scheduler %q", name)
+	}
+}

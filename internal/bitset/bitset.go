@@ -1,0 +1,156 @@
+// Package bitset implements a fixed-capacity bit set used by the exact
+// scheduler to represent order ideals (downward-closed node sets) compactly
+// and hashably.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a bit set over [0, n) backed by 64-bit words.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity n.
+func New(n int) *Set {
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the capacity n the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with o (capacities must match).
+func (s *Set) CopyFrom(o *Set) {
+	copy(s.words, o.words)
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Equal reports whether the two sets have identical contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether s ⊆ o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union sets s = s ∪ o.
+func (s *Set) Union(o *Set) {
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Diff sets s = s \ o.
+func (s *Set) Diff(o *Set) {
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// ForEach calls f for every set bit in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi<<6 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elems returns the set bits in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Key returns a string usable as a map key identifying the set contents.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 17)
+	for _, w := range s.words {
+		b.WriteString(strconv.FormatUint(w, 16))
+		b.WriteByte(':')
+	}
+	return b.String()
+}
+
+// String renders the set like "{1, 4, 7}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Error("spurious bits set")
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestElemsOrdered(t *testing.T) {
+	s := New(200)
+	want := []int{3, 17, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Elems[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+
+	u := a.Clone()
+	u.Union(b)
+	if u.Count() != 3 || !u.Has(1) || !u.Has(2) || !u.Has(3) {
+		t.Errorf("Union wrong: %v", u)
+	}
+
+	d := a.Clone()
+	d.Diff(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Errorf("Diff wrong: %v", d)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if i.Count() != 1 || !i.Has(2) {
+		t.Errorf("Intersect wrong: %v", i)
+	}
+
+	if !d.SubsetOf(a) || d.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(5)
+	b.Set(69)
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share Key")
+	}
+	c := a.Clone()
+	if a.Key() != c.Key() {
+		t.Error("clone Key differs")
+	}
+}
+
+func TestEqualAndCopyFrom(t *testing.T) {
+	a := New(70)
+	a.Set(69)
+	b := New(70)
+	if a.Equal(b) {
+		t.Error("Equal on different sets")
+	}
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Error("CopyFrom then not Equal")
+	}
+	if a.Equal(New(71)) {
+		t.Error("Equal across capacities")
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	// Compare against a map-based reference implementation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 100; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+				ref[i] = true
+			} else {
+				s.Clear(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, e := range s.Elems() {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(1)
+	s.Set(4)
+	if got := s.String(); got != "{1, 4}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(5).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package compiler
+
+import (
+	"testing"
+
+	"respect/internal/models"
+)
+
+func TestCompileProducesDeployableSchedule(t *testing.T) {
+	for _, name := range []string{"Xception", "ResNet50"} {
+		g := models.MustLoad(name)
+		for _, ns := range []int{4, 5, 6} {
+			res, err := Compile(g, ns, Options{Effort: 8})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, ns, err)
+			}
+			if err := res.Schedule.Validate(g); err != nil {
+				t.Errorf("%s/%d: %v", name, ns, err)
+			}
+			if !res.Schedule.SameStageChildrenOK(g) {
+				t.Errorf("%s/%d: children rule violated", name, ns)
+			}
+			if len(res.Submodels) != ns {
+				t.Errorf("%s/%d: %d submodels", name, ns, len(res.Submodels))
+			}
+			if res.CompileTime <= 0 {
+				t.Error("compile time not measured")
+			}
+		}
+	}
+}
+
+func TestCompileAccountsAllParams(t *testing.T) {
+	g := models.MustLoad("ResNet50")
+	res, err := Compile(g, 4, Options{Effort: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for k := range res.AllocatedBytes {
+		total += res.AllocatedBytes[k] + res.SpilledBytes[k]
+	}
+	if total != g.TotalParamBytes() {
+		t.Fatalf("allocated+spilled %d != params %d", total, g.TotalParamBytes())
+	}
+	if res.ImageBytes <= g.TotalParamBytes() {
+		t.Fatalf("image %d not larger than raw weights %d", res.ImageBytes, g.TotalParamBytes())
+	}
+}
+
+func TestSpillOnlyWhenOverCache(t *testing.T) {
+	g := models.MustLoad("DenseNet121") // ~8 MiB total, tiny per stage
+	res, err := Compile(g, 4, Options{Effort: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sp := range res.SpilledBytes {
+		if sp != 0 {
+			t.Errorf("stage %d spilled %d bytes below cache size", k, sp)
+		}
+	}
+	g2 := models.MustLoad("ResNet152") // ~60 MiB: stages exceed 8 MiB at 4 stages
+	res2, err := Compile(g2, 4, Options{Effort: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := false
+	for _, sp := range res2.SpilledBytes {
+		if sp > 0 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Error("ResNet152/4 fits nowhere yet nothing spilled")
+	}
+}
+
+func TestTilesCoverComputeOps(t *testing.T) {
+	g := models.MustLoad("Xception")
+	res, err := Compile(g, 4, Options{Effort: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Node(v).MACs > 0 {
+			compute++
+		}
+	}
+	if len(res.Tiles) != compute {
+		t.Fatalf("%d tiles for %d compute ops", len(res.Tiles), compute)
+	}
+	for _, tile := range res.Tiles {
+		if tile.RowsPerPass < 1 || tile.RowsPerPass > 64 ||
+			tile.ColsPerPass < 1 || tile.ColsPerPass > 64 {
+			t.Fatalf("tile out of systolic bounds: %+v", tile)
+		}
+		if tile.EstimatedCycles <= 0 {
+			t.Fatalf("tile with non-positive cycles: %+v", tile)
+		}
+	}
+}
+
+func TestEffortMonotoneQuality(t *testing.T) {
+	// More effort can only find cheaper-or-equal tiling plans.
+	g := models.MustLoad("Xception")
+	lo, err := Compile(g, 2, Options{Effort: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Compile(g, 2, Options{Effort: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cLo, cHi int64
+	for i := range lo.Tiles {
+		cLo += lo.Tiles[i].EstimatedCycles
+		cHi += hi.Tiles[i].EstimatedCycles
+	}
+	if cHi > cLo {
+		t.Fatalf("effort 64 worse than 2: %d > %d", cHi, cLo)
+	}
+}
+
+func TestBadStageCount(t *testing.T) {
+	g := models.MustLoad("Xception")
+	if _, err := Compile(g, 0, Options{}); err == nil {
+		t.Fatal("0 stages accepted")
+	}
+}

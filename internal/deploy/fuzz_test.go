@@ -1,0 +1,130 @@
+package deploy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// smallGraph builds a random small DAG with weights for corruption tests.
+func smallGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(8)
+	g := graph.New("fuzz")
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{
+			Name: "op", Kind: graph.OpConv,
+			ParamBytes: int64(rng.Intn(200)), OutBytes: 1 + int64(rng.Intn(100)),
+			MACs: int64(rng.Intn(1000)),
+		})
+	}
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v)
+	}
+	return g.MustBuild()
+}
+
+// TestQuickCorruptionAlwaysDetectedOrEquivalent flips random bytes in
+// serialized images: Read must either reject the image or — never —
+// silently return different content with a passing checksum.
+func TestQuickCorruptionAlwaysDetected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := smallGraph(seed)
+		s := sched.NewSchedule(g.NumNodes(), 2)
+		for v := range s.Stage {
+			s.Stage[v] = 0
+		}
+		subs, err := Partition(g, s)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := subs[0].Write(&buf); err != nil {
+			return false
+		}
+		img := buf.Bytes()
+		// Flip 1-3 random bytes.
+		bad := append([]byte(nil), img...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			i := rng.Intn(len(bad))
+			bad[i] ^= byte(1 + rng.Intn(255))
+		}
+		if bytes.Equal(bad, img) {
+			return true // flips cancelled; nothing to detect
+		}
+		_, err = Read(bytes.NewReader(bad))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTruncationAlwaysDetected drops random suffixes.
+func TestQuickTruncationAlwaysDetected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := smallGraph(seed)
+		s := sched.NewSchedule(g.NumNodes(), 1)
+		subs, err := Partition(g, s)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := subs[0].Write(&buf); err != nil {
+			return false
+		}
+		img := buf.Bytes()
+		cut := rng.Intn(len(img)) // strictly shorter
+		_, err = Read(bytes.NewReader(img[:cut]))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripRandomGraphs serializes every stage of random
+// partitions and verifies lossless reload.
+func TestQuickRoundTripRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := smallGraph(seed)
+		ns := 1 + rng.Intn(3)
+		// Monotone random schedule via sorted stages along topo order.
+		s := sched.NewSchedule(g.NumNodes(), ns)
+		st := 0
+		for _, v := range g.Topo() {
+			if rng.Intn(3) == 0 && st < ns-1 {
+				st++
+			}
+			s.Stage[v] = st
+		}
+		subs, err := Partition(g, s)
+		if err != nil {
+			return false
+		}
+		for _, sm := range subs {
+			var buf bytes.Buffer
+			if err := sm.Write(&buf); err != nil {
+				return false
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				return false
+			}
+			if got.ParamBytes() != sm.ParamBytes() || len(got.Ops) != len(sm.Ops) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

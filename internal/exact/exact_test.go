@@ -1,0 +1,337 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/heur"
+	"respect/internal/models"
+	"respect/internal/sched"
+)
+
+func randomDAG(seed int64, maxN int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN-1)
+	g := graph.New("rand")
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{ParamBytes: int64(rng.Intn(100)), OutBytes: 1 + int64(rng.Intn(50))})
+	}
+	for v := 1; v < n; v++ {
+		for _, u := range rng.Perm(v)[:1+rng.Intn(minInt(v, 2))] {
+			g.AddEdge(u, v)
+		}
+	}
+	return g.MustBuild()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSolveMatchesBruteForcePeak(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 10)
+		for _, ns := range []int{2, 3} {
+			bf := BruteForce(g, ns)
+			ex := Solve(g, ns, Options{})
+			if !ex.Optimal {
+				t.Logf("seed %d: solver truncated without budget", seed)
+				return false
+			}
+			if ex.Cost.PeakParamBytes != bf.Cost.PeakParamBytes {
+				t.Logf("seed %d ns %d: exact %v != brute %v", seed, ns, ex.Cost, bf.Cost)
+				return false
+			}
+			if err := ex.Schedule.Validate(g); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNeverWorseThanHeuristics(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 25)
+		for _, ns := range []int{2, 4} {
+			ex := Solve(g, ns, Options{})
+			if !ex.Optimal {
+				return false
+			}
+			if ex.Cost.PeakParamBytes > heur.GreedyBalanced(g, ns).Evaluate(g).PeakParamBytes {
+				return false
+			}
+			if ex.Cost.PeakParamBytes > heur.DPBudget(g, ns).Evaluate(g).PeakParamBytes {
+				return false
+			}
+			if ex.Cost.PeakParamBytes > heur.ListSchedule(g, ns).Evaluate(g).PeakParamBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBeatsSingleOrderDPWhenBranchy(t *testing.T) {
+	// Two parallel heavy branches: the fixed topo order interleaves
+	// suboptimally for some weights; the exact solver must find the true
+	// optimum. Construct: source -> (a:90, b:10) -> sink, 2 stages.
+	g := graph.New("branchy")
+	src := g.AddNode(graph.Node{})
+	a1 := g.AddNode(graph.Node{ParamBytes: 60})
+	a2 := g.AddNode(graph.Node{ParamBytes: 30})
+	b1 := g.AddNode(graph.Node{ParamBytes: 50})
+	b2 := g.AddNode(graph.Node{ParamBytes: 40})
+	sink := g.AddNode(graph.Node{})
+	g.AddEdge(src, a1)
+	g.AddEdge(a1, a2)
+	g.AddEdge(src, b1)
+	g.AddEdge(b1, b2)
+	g.AddEdge(a2, sink)
+	g.AddEdge(b2, sink)
+	g.MustBuild()
+
+	ex := Solve(g, 2, Options{})
+	if !ex.Optimal {
+		t.Fatal("truncated")
+	}
+	// Optimal split: {a1, b1 side mix} peak 90: e.g. stage0 = {src,a1,a2}
+	// (90), stage1 = {b1,b2,sink} (90). Brute force confirms.
+	bf := BruteForce(g, 2)
+	if ex.Cost.PeakParamBytes != bf.Cost.PeakParamBytes {
+		t.Fatalf("exact %v != brute %v", ex.Cost, bf.Cost)
+	}
+	if ex.Cost.PeakParamBytes != 90 {
+		t.Fatalf("peak = %d, want 90", ex.Cost.PeakParamBytes)
+	}
+}
+
+func TestSolveSingleStage(t *testing.T) {
+	g := randomDAG(1, 15)
+	r := Solve(g, 1, Options{})
+	if !r.Optimal || r.Cost.PeakParamBytes != g.TotalParamBytes() {
+		t.Fatalf("single-stage: %+v", r.Cost)
+	}
+}
+
+func TestSolveTimeoutTruncates(t *testing.T) {
+	g := models.MustLoad("ResNet50")
+	r := Solve(g, 6, Options{Timeout: time.Millisecond, MaxStates: 0})
+	if err := r.Schedule.Validate(g); err != nil {
+		t.Fatalf("truncated result invalid: %v", err)
+	}
+	// With a 1ms budget on a 177-node graph the search cannot finish...
+	// unless pruning is extraordinarily effective; either way the result
+	// must be at least as good as the DP seed.
+	seed := heur.DPBudget(g, 6).Evaluate(g)
+	if seed.PeakParamBytes < r.Cost.PeakParamBytes {
+		t.Fatalf("result worse than its own seed: %v vs %v", r.Cost, seed)
+	}
+}
+
+func TestSolveMaxStatesTruncates(t *testing.T) {
+	g := models.MustLoad("Xception")
+	r := Solve(g, 4, Options{MaxStates: 100})
+	if r.Optimal && r.States > 100 {
+		t.Fatalf("claimed optimal beyond state budget: %+v", r)
+	}
+	if err := r.Schedule.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveOnRealModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-scale exact solves in short mode")
+	}
+	for _, name := range []string{"Xception", "ResNet50"} {
+		g := models.MustLoad(name)
+		for _, ns := range []int{4, 5, 6} {
+			r := Solve(g, ns, Options{Timeout: 20 * time.Second, MaxStates: 20_000_000})
+			if err := r.Schedule.Validate(g); err != nil {
+				t.Errorf("%s/%d: %v", name, ns, err)
+			}
+			dp := heur.DPBudget(g, ns).Evaluate(g)
+			if r.Cost.PeakParamBytes > dp.PeakParamBytes {
+				t.Errorf("%s/%d: exact %v worse than DP %v", name, ns, r.Cost, dp)
+			}
+			t.Logf("%s/%d: peak %.3f MiB optimal=%v states=%d in %v",
+				name, ns, float64(r.Cost.PeakParamBytes)/(1<<20), r.Optimal, r.States, r.Elapsed)
+		}
+	}
+}
+
+func TestBruteForceTieBreaksOnCross(t *testing.T) {
+	// Chain of two equal-weight nodes with a huge tensor between them:
+	// both cuts give peak 10; the cross tie-break must pick the cut
+	// outside the fat edge.
+	g := graph.New("tie")
+	a := g.AddNode(graph.Node{ParamBytes: 10, OutBytes: 1000})
+	bn := g.AddNode(graph.Node{ParamBytes: 10, OutBytes: 1})
+	c := g.AddNode(graph.Node{ParamBytes: 10, OutBytes: 1})
+	g.AddEdge(a, bn)
+	g.AddEdge(bn, c)
+	g.MustBuild()
+	// Cutting after a or after b both give peak 20; only the cut after b
+	// avoids shipping a's 1000-byte tensor across the boundary.
+	r := BruteForce(g, 2)
+	if r.Cost.PeakParamBytes != 20 {
+		t.Fatalf("peak = %d", r.Cost.PeakParamBytes)
+	}
+	if r.Cost.CrossBytes != 1 {
+		t.Fatalf("cross = %d, want 1 (cut after b)", r.Cost.CrossBytes)
+	}
+}
+
+func TestTieBreakCrossMatchesBruteForceLex(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 9)
+		for _, ns := range []int{2, 3} {
+			bf := BruteForce(g, ns)
+			ex := Solve(g, ns, Options{TieBreakCross: true})
+			if !ex.Optimal {
+				return false
+			}
+			if ex.Cost != bf.Cost {
+				t.Logf("seed %d ns %d: tiebreak %+v != brute %+v", seed, ns, ex.Cost, bf.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieBreakCrossNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 16)
+		fast := Solve(g, 3, Options{})
+		lex := Solve(g, 3, Options{TieBreakCross: true, Timeout: 20 * time.Second})
+		if !fast.Optimal || !lex.Optimal {
+			return false
+		}
+		if lex.Cost.PeakParamBytes != fast.Cost.PeakParamBytes {
+			return false
+		}
+		return lex.Cost.CrossBytes <= fast.Cost.CrossBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceChildrenRule enumerates monotone schedules satisfying the
+// children-same-stage rule (reference for the ChildrenRule solver mode).
+func bruteForceChildrenRule(g *graph.Graph, numStages int) (sched.Schedule, sched.Cost, bool) {
+	n := g.NumNodes()
+	topo := g.Topo()
+	stage := make([]int, n)
+	best := sched.NewSchedule(n, numStages)
+	bestCost := sched.Cost{PeakParamBytes: 1 << 62, CrossBytes: 1 << 62}
+	found := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			s := sched.Schedule{NumStages: numStages, Stage: stage}
+			if !s.SameStageChildrenOK(g) {
+				return
+			}
+			if cost := s.Evaluate(g); cost.Less(bestCost) {
+				bestCost = cost
+				copy(best.Stage, stage)
+				found = true
+			}
+			return
+		}
+		v := topo[i]
+		lo := 0
+		for _, p := range g.Pred(v) {
+			if stage[p] > lo {
+				lo = stage[p]
+			}
+		}
+		for st := lo; st < numStages; st++ {
+			stage[v] = st
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestCost, found
+}
+
+func TestChildrenRuleMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 9)
+		for _, ns := range []int{2, 3} {
+			_, want, ok := bruteForceChildrenRule(g, ns)
+			if !ok {
+				continue
+			}
+			res := Solve(g, ns, Options{ChildrenRule: true})
+			if !res.Optimal {
+				return false
+			}
+			if !res.Schedule.SameStageChildrenOK(g) {
+				t.Logf("seed %d: children rule violated", seed)
+				return false
+			}
+			if res.Cost.PeakParamBytes != want.PeakParamBytes {
+				t.Logf("seed %d ns %d: solver %v != brute %v", seed, ns, res.Cost, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildrenRuleAtLeastMonotoneOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 16)
+		free := Solve(g, 3, Options{})
+		constrained := Solve(g, 3, Options{ChildrenRule: true})
+		if !free.Optimal || !constrained.Optimal {
+			return false
+		}
+		return constrained.Cost.PeakParamBytes >= free.Cost.PeakParamBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildrenRuleOnRealModels(t *testing.T) {
+	for _, name := range []string{"Xception", "ResNet50", "DenseNet121"} {
+		g := models.MustLoad(name)
+		for _, ns := range []int{4, 6} {
+			res := Solve(g, ns, Options{ChildrenRule: true, Timeout: 30 * time.Second, MaxStates: 50_000_000})
+			if !res.Schedule.SameStageChildrenOK(g) {
+				t.Fatalf("%s/%d: children rule violated", name, ns)
+			}
+			free := Solve(g, ns, Options{})
+			if res.Optimal && res.Cost.PeakParamBytes < free.Cost.PeakParamBytes {
+				t.Fatalf("%s/%d: constrained beat unconstrained", name, ns)
+			}
+			t.Logf("%s/%d: deployable-optimal %.3f MiB vs monotone %.3f MiB (optimal=%v, %v)",
+				name, ns, float64(res.Cost.PeakParamBytes)/(1<<20),
+				float64(free.Cost.PeakParamBytes)/(1<<20), res.Optimal, res.Elapsed)
+		}
+	}
+}

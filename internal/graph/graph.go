@@ -1,0 +1,384 @@
+// Package graph provides the directed-acyclic-graph representation of DNN
+// computational graphs used throughout RESPECT, together with the
+// topological machinery (ASAP/ALAP levels, depth, order ideals) that the
+// scheduler, the exact solver and the graph embedding build on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind identifies the operator class of a computation node. The scheduler
+// itself only consumes memory attributes, but the Edge TPU simulator and the
+// compiler emulation use the kind to pick compute/memory cost models.
+type OpKind uint8
+
+// Operator kinds found in quantized TFLite graphs of the evaluated models.
+const (
+	OpInput OpKind = iota
+	OpConv
+	OpDepthwiseConv
+	OpDense
+	OpBatchNorm
+	OpRelu
+	OpAdd
+	OpConcat
+	OpMaxPool
+	OpAvgPool
+	OpGlobalPool
+	OpPad
+	OpSoftmax
+	OpMul
+	OpOther
+)
+
+var opKindNames = [...]string{
+	OpInput:         "input",
+	OpConv:          "conv",
+	OpDepthwiseConv: "dwconv",
+	OpDense:         "dense",
+	OpBatchNorm:     "batchnorm",
+	OpRelu:          "relu",
+	OpAdd:           "add",
+	OpConcat:        "concat",
+	OpMaxPool:       "maxpool",
+	OpAvgPool:       "avgpool",
+	OpGlobalPool:    "globalpool",
+	OpPad:           "pad",
+	OpSoftmax:       "softmax",
+	OpMul:           "mul",
+	OpOther:         "other",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Node is a single operation in a computational graph.
+type Node struct {
+	// ID is the node index, dense in [0, |V|).
+	ID int
+	// Name is the operator instance name (e.g. "conv2_block1_1_conv").
+	Name string
+	// Kind is the operator class.
+	Kind OpKind
+	// ParamBytes is the quantized parameter (weight+bias) footprint in
+	// bytes; this is what competes for the 8 MiB on-chip cache.
+	ParamBytes int64
+	// OutBytes is the output activation tensor size in bytes; edges
+	// crossing a stage boundary transfer this amount over USB.
+	OutBytes int64
+	// MACs is the number of multiply-accumulate operations; the simulator
+	// derives systolic-array compute latency from it.
+	MACs int64
+}
+
+// Graph is an immutable-after-Build DAG. Construct with New, add nodes and
+// edges, then call Build to validate and freeze derived data.
+type Graph struct {
+	// Name labels the graph (model name or synthetic sampler tag).
+	Name string
+
+	nodes []Node
+	succ  [][]int
+	pred  [][]int
+
+	built    bool
+	topo     []int // a topological order of node IDs
+	asap     []int // ASAP level per node (source level 0)
+	alap     []int // ALAP level per node
+	depth    int   // longest path length in edges
+	maxInDeg int
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// AddNode appends a node and returns its ID. The ID fields of the argument
+// is overwritten with the assigned index.
+func (g *Graph) AddNode(n Node) int {
+	if g.built {
+		panic("graph: AddNode after Build")
+	}
+	n.ID = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return n.ID
+}
+
+// AddEdge adds the dependency u -> v (v consumes u's output).
+func (g *Graph) AddEdge(u, v int) {
+	if g.built {
+		panic("graph: AddEdge after Build")
+	}
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range, |V|=%d", u, v, len(g.nodes)))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self edge at node %d", u))
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+}
+
+// Build validates acyclicity, computes topological order, ASAP/ALAP levels
+// and depth, and freezes the graph. It returns an error on cycles or
+// duplicate edges.
+func (g *Graph) Build() error {
+	if g.built {
+		return nil
+	}
+	n := len(g.nodes)
+	for v := 0; v < n; v++ {
+		seen := make(map[int]bool, len(g.succ[v]))
+		for _, w := range g.succ[v] {
+			if seen[w] {
+				return fmt.Errorf("graph %q: duplicate edge (%d,%d)", g.Name, v, w)
+			}
+			seen[w] = true
+		}
+	}
+	topo, err := g.topoSort()
+	if err != nil {
+		return err
+	}
+	g.topo = topo
+	g.asap = make([]int, n)
+	for _, v := range topo {
+		lvl := 0
+		for _, p := range g.pred[v] {
+			if g.asap[p]+1 > lvl {
+				lvl = g.asap[p] + 1
+			}
+		}
+		g.asap[v] = lvl
+	}
+	g.alap = make([]int, n)
+	maxLvl := 0
+	for _, l := range g.asap {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	for i := range g.alap {
+		g.alap[i] = maxLvl
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, s := range g.succ[v] {
+			if g.alap[s]-1 < g.alap[v] {
+				g.alap[v] = g.alap[s] - 1
+			}
+		}
+	}
+	g.depth = maxLvl
+	g.maxInDeg = 0
+	for v := 0; v < n; v++ {
+		if len(g.pred[v]) > g.maxInDeg {
+			g.maxInDeg = len(g.pred[v])
+		}
+	}
+	g.built = true
+	return nil
+}
+
+// MustBuild is Build that panics on error; for use with generated graphs
+// whose construction is tested.
+func (g *Graph) MustBuild() *Graph {
+	if err := g.Build(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) topoSort() ([]int, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.pred[v])
+	}
+	// Deterministic Kahn: smallest-ID-first among ready nodes.
+	ready := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	sort.Ints(ready)
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				// Insert keeping ready sorted (ready lists are short for
+				// the thin DNN graphs we schedule).
+				i := sort.SearchInts(ready, w)
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = w
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph %q: cycle detected (%d of %d nodes ordered)", g.Name, len(order), n)
+	}
+	return order, nil
+}
+
+func (g *Graph) mustBuilt() {
+	if !g.built {
+		panic("graph: derived query before Build")
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, s := range g.succ {
+		m += len(s)
+	}
+	return m
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Nodes returns a copy of the node slice.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Succ returns the successor IDs of v. The returned slice must not be
+// modified.
+func (g *Graph) Succ(v int) []int { return g.succ[v] }
+
+// Pred returns the predecessor IDs of v. The returned slice must not be
+// modified.
+func (g *Graph) Pred(v int) []int { return g.pred[v] }
+
+// Topo returns a topological order (deterministic for a given graph).
+func (g *Graph) Topo() []int {
+	g.mustBuilt()
+	out := make([]int, len(g.topo))
+	copy(out, g.topo)
+	return out
+}
+
+// ASAP returns the as-soon-as-possible level of v (sources at 0). This is
+// the "absolute coordinate" of the paper's embedding.
+func (g *Graph) ASAP(v int) int {
+	g.mustBuilt()
+	return g.asap[v]
+}
+
+// ALAP returns the as-late-as-possible level of v.
+func (g *Graph) ALAP(v int) int {
+	g.mustBuilt()
+	return g.alap[v]
+}
+
+// Depth returns the longest path length counted in edges (Table I "Depth").
+func (g *Graph) Depth() int {
+	g.mustBuilt()
+	return g.depth
+}
+
+// MaxInDegree returns deg(V), the maximum number of incoming edges of any
+// node (Table I "deg(V)").
+func (g *Graph) MaxInDegree() int {
+	g.mustBuilt()
+	return g.maxInDeg
+}
+
+// TotalParamBytes returns the sum of parameter bytes over all nodes.
+func (g *Graph) TotalParamBytes() int64 {
+	var t int64
+	for _, n := range g.nodes {
+		t += n.ParamBytes
+	}
+	return t
+}
+
+// TotalMACs returns the sum of MACs over all nodes.
+func (g *Graph) TotalMACs() int64 {
+	var t int64
+	for _, n := range g.nodes {
+		t += n.MACs
+	}
+	return t
+}
+
+// Sources returns the IDs of nodes with no predecessors.
+func (g *Graph) Sources() []int {
+	var out []int
+	for v := range g.nodes {
+		if len(g.pred[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sinks returns the IDs of nodes with no successors.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for v := range g.nodes {
+		if len(g.succ[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsEdge reports whether (u,v) is an edge.
+func (g *Graph) IsEdge(u, v int) bool {
+	for _, w := range g.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep, unbuilt copy of the graph structure. The clone can
+// be further mutated and must be Built before derived queries.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	c.nodes = make([]Node, len(g.nodes))
+	copy(c.nodes, g.nodes)
+	c.succ = make([][]int, len(g.succ))
+	c.pred = make([][]int, len(g.pred))
+	for v := range g.succ {
+		c.succ[v] = append([]int(nil), g.succ[v]...)
+		c.pred[v] = append([]int(nil), g.pred[v]...)
+	}
+	return c
+}
+
+// Stats is the Table I statistics triple of a computational graph.
+type Stats struct {
+	V     int // |V|
+	Deg   int // deg(V): max in-degree
+	Depth int // longest path in edges
+}
+
+// Stats returns the Table I statistics of the graph.
+func (g *Graph) Stats() Stats {
+	g.mustBuilt()
+	return Stats{V: g.NumNodes(), Deg: g.MaxInDegree(), Depth: g.Depth()}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the serialized wire format of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonNode struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	ParamBytes int64  `json:"param_bytes"`
+	OutBytes   int64  `json:"out_bytes"`
+	MACs       int64  `json:"macs"`
+}
+
+func kindFromString(s string) OpKind {
+	for k, name := range opKindNames {
+		if name == s {
+			return OpKind(k)
+		}
+	}
+	return OpOther
+}
+
+// WriteJSON serializes the graph to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.Name}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{
+			Name: n.Name, Kind: n.Kind.String(),
+			ParamBytes: n.ParamBytes, OutBytes: n.OutBytes, MACs: n.MACs,
+		})
+	}
+	for u := range g.succ {
+		for _, v := range g.succ[u] {
+			jg.Edges = append(jg.Edges, [2]int{u, v})
+		}
+	}
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i][0] != jg.Edges[j][0] {
+			return jg.Edges[i][0] < jg.Edges[j][0]
+		}
+		return jg.Edges[i][1] < jg.Edges[j][1]
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON parses a graph previously written with WriteJSON and builds it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New(jg.Name)
+	for _, n := range jg.Nodes {
+		g.AddNode(Node{
+			Name: n.Name, Kind: kindFromString(n.Kind),
+			ParamBytes: n.ParamBytes, OutBytes: n.OutBytes, MACs: n.MACs,
+		})
+	}
+	for _, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= len(g.nodes) || e[1] < 0 || e[1] >= len(g.nodes) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	if err := g.Build(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format; stage, if non-nil, colors nodes
+// by pipeline stage assignment.
+func (g *Graph) DOT(stage []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled];\n", g.Name)
+	palette := []string{"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"}
+	for _, n := range g.nodes {
+		color := "#eeeeee"
+		label := fmt.Sprintf("%s\\n%s", n.Name, n.Kind)
+		if stage != nil && n.ID < len(stage) {
+			color = palette[stage[n.ID]%len(palette)]
+			label = fmt.Sprintf("%s\\n%s s%d", n.Name, n.Kind, stage[n.ID])
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=%q];\n", n.ID, label, color)
+	}
+	for u := range g.succ {
+		for _, v := range g.succ[u] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "strings"
+
+// Merge builds the disjoint union of several computational graphs. The
+// paper's deployment flow "takes single or multiple DNN models ... as
+// inputs": co-deployed models share the pipeline, and scheduling their
+// union lets the solvers balance parameter memory across all of them at
+// once. Node IDs of graph i are offset by the sizes of graphs 0..i-1;
+// node names are prefixed with their source graph's name.
+func Merge(graphs ...*Graph) (*Graph, error) {
+	names := make([]string, len(graphs))
+	for i, g := range graphs {
+		names[i] = g.Name
+	}
+	m := New(strings.Join(names, "+"))
+	offset := 0
+	for _, g := range graphs {
+		for _, n := range g.Nodes() {
+			n.Name = g.Name + "/" + n.Name
+			m.AddNode(n)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.Succ(u) {
+				m.AddEdge(offset+u, offset+v)
+			}
+		}
+		offset += g.NumNodes()
+	}
+	if err := m.Build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

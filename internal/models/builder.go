@@ -1,0 +1,189 @@
+// Package models generates the computational graphs of the twelve ImageNet
+// architectures evaluated in the paper (Table I and Figures 3-5):
+// Xception, ResNet50/101/152, ResNet50V2/101V2/152V2, DenseNet121/169/201,
+// InceptionV3 and InceptionResNetV2.
+//
+// Graphs are produced at the same granularity as the paper's DAG
+// extraction (one node per Keras layer: separate conv / batch-norm /
+// activation nodes, a fused classification head), so the Table I
+// statistics — |V|, deg(V) and depth — are reproduced exactly; tests
+// assert them. Shape inference runs alongside construction, giving every
+// node a realistic int8 parameter footprint, output-activation size and
+// MAC count, which is what the schedulers and the Edge TPU simulator
+// consume.
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// Shape is a feature-map shape in HWC layout.
+type Shape struct {
+	H, W, C int
+}
+
+// Elems returns H*W*C.
+func (s Shape) Elems() int64 { return int64(s.H) * int64(s.W) * int64(s.C) }
+
+// builder constructs a graph while propagating tensor shapes, so memory
+// attributes come out of real layer arithmetic rather than guesses.
+type builder struct {
+	g      *graph.Graph
+	shapes []Shape
+}
+
+func newBuilder(name string) *builder {
+	return &builder{g: graph.New(name)}
+}
+
+func (b *builder) add(n graph.Node, out Shape, parents ...int) int {
+	n.OutBytes = out.Elems() // int8 activations: one byte per element
+	id := b.g.AddNode(n)
+	b.shapes = append(b.shapes, out)
+	for _, p := range parents {
+		b.g.AddEdge(p, id)
+	}
+	return id
+}
+
+func (b *builder) shape(id int) Shape { return b.shapes[id] }
+
+// input adds the graph's input placeholder.
+func (b *builder) input(h, w, c int) int {
+	return b.add(graph.Node{Name: "input", Kind: graph.OpInput}, Shape{h, w, c})
+}
+
+// convOut computes an output spatial dim under SAME/VALID padding.
+func convOut(in, k, stride int, same bool) int {
+	if same {
+		return (in + stride - 1) / stride
+	}
+	return (in-k)/stride + 1
+}
+
+// conv adds a single Conv2D node. bias selects whether a bias vector is
+// counted (Keras conv layers inside conv+bn pairs use use_bias=false).
+func (b *builder) conv(name string, parent int, kh, kw, stride, outC int, same, bias bool) int {
+	in := b.shape(parent)
+	out := Shape{convOut(in.H, kh, stride, same), convOut(in.W, kw, stride, same), outC}
+	weights := int64(kh) * int64(kw) * int64(in.C) * int64(outC)
+	params := weights // int8: 1 byte per weight
+	if bias {
+		params += int64(outC) * 4 // int32 bias
+	}
+	macs := weights * out.Elems() / int64(outC)
+	return b.add(graph.Node{Name: name, Kind: graph.OpConv, ParamBytes: params, MACs: macs}, out, parent)
+}
+
+// dwConv adds a depthwise convolution (one filter per input channel).
+func (b *builder) dwConv(name string, parent int, k, stride int, same bool) int {
+	in := b.shape(parent)
+	out := Shape{convOut(in.H, k, stride, same), convOut(in.W, k, stride, same), in.C}
+	weights := int64(k) * int64(k) * int64(in.C)
+	macs := weights * int64(out.H) * int64(out.W)
+	return b.add(graph.Node{Name: name, Kind: graph.OpDepthwiseConv, ParamBytes: weights, MACs: macs}, out, parent)
+}
+
+// sepConv adds a SeparableConv2D as a single node (matching Keras layer
+// granularity): depthwise k×k followed by pointwise 1×1.
+func (b *builder) sepConv(name string, parent int, k, stride, outC int, same bool) int {
+	in := b.shape(parent)
+	out := Shape{convOut(in.H, k, stride, same), convOut(in.W, k, stride, same), outC}
+	dw := int64(k) * int64(k) * int64(in.C)
+	pw := int64(in.C) * int64(outC)
+	macs := dw*int64(out.H)*int64(out.W) + pw*int64(out.H)*int64(out.W)
+	return b.add(graph.Node{Name: name, Kind: graph.OpDepthwiseConv, ParamBytes: dw + pw, MACs: macs}, out, parent)
+}
+
+// bn adds a batch-normalization node; per-channel scale and shift survive
+// TFLite conversion as int16 pairs (4 bytes per channel total).
+func (b *builder) bn(name string, parent int) int {
+	in := b.shape(parent)
+	return b.add(graph.Node{
+		Name: name, Kind: graph.OpBatchNorm,
+		ParamBytes: int64(in.C) * 4, MACs: in.Elems(),
+	}, in, parent)
+}
+
+// relu adds an activation node.
+func (b *builder) relu(name string, parent int) int {
+	in := b.shape(parent)
+	return b.add(graph.Node{Name: name, Kind: graph.OpRelu, MACs: in.Elems()}, in, parent)
+}
+
+// convBN is the conv → bn → relu triple used throughout the Inception and
+// ResNet families; returns the relu's node ID.
+func (b *builder) convBN(name string, parent int, kh, kw, stride, outC int, same bool) int {
+	c := b.conv(name+"_conv", parent, kh, kw, stride, outC, same, false)
+	n := b.bn(name+"_bn", c)
+	return b.relu(name+"_relu", n)
+}
+
+// pad adds explicit zero padding of p pixels on each side.
+func (b *builder) pad(name string, parent, p int) int {
+	in := b.shape(parent)
+	out := Shape{in.H + 2*p, in.W + 2*p, in.C}
+	return b.add(graph.Node{Name: name, Kind: graph.OpPad}, out, parent)
+}
+
+// maxPool adds a max-pooling node.
+func (b *builder) maxPool(name string, parent, k, stride int, same bool) int {
+	in := b.shape(parent)
+	out := Shape{convOut(in.H, k, stride, same), convOut(in.W, k, stride, same), in.C}
+	return b.add(graph.Node{Name: name, Kind: graph.OpMaxPool, MACs: out.Elems() * int64(k*k)}, out, parent)
+}
+
+// avgPool adds an average-pooling node.
+func (b *builder) avgPool(name string, parent, k, stride int, same bool) int {
+	in := b.shape(parent)
+	out := Shape{convOut(in.H, k, stride, same), convOut(in.W, k, stride, same), in.C}
+	return b.add(graph.Node{Name: name, Kind: graph.OpAvgPool, MACs: out.Elems() * int64(k*k)}, out, parent)
+}
+
+// gap adds global average pooling down to 1×1×C.
+func (b *builder) gap(name string, parent int) int {
+	in := b.shape(parent)
+	return b.add(graph.Node{Name: name, Kind: graph.OpGlobalPool, MACs: in.Elems()}, Shape{1, 1, in.C}, parent)
+}
+
+// dense adds the fused fully-connected classification head (matmul + bias
+// + softmax as one node, matching the paper's node granularity).
+func (b *builder) dense(name string, parent, units int) int {
+	in := b.shape(parent)
+	weights := in.Elems() * int64(units)
+	params := weights + int64(units)*4
+	return b.add(graph.Node{Name: name, Kind: graph.OpDense, ParamBytes: params, MACs: weights}, Shape{1, 1, units}, parent)
+}
+
+// addOp adds an elementwise residual addition of two tensors.
+func (b *builder) addOp(name string, x, y int) int {
+	in := b.shape(x)
+	return b.add(graph.Node{Name: name, Kind: graph.OpAdd, MACs: in.Elems()}, in, x, y)
+}
+
+// scaleAdd adds the Inception-ResNet residual-scaling lambda
+// (x + scale * up) as a single two-input node.
+func (b *builder) scaleAdd(name string, x, up int) int {
+	in := b.shape(x)
+	return b.add(graph.Node{Name: name, Kind: graph.OpMul, MACs: 2 * in.Elems()}, in, x, up)
+}
+
+// concat concatenates along channels.
+func (b *builder) concat(name string, parents ...int) int {
+	out := b.shape(parents[0])
+	out.C = 0
+	for _, p := range parents {
+		out.C += b.shape(p).C
+	}
+	return b.add(graph.Node{Name: name, Kind: graph.OpConcat}, out, parents...)
+}
+
+// finish validates and returns the built graph.
+func (b *builder) finish() (*graph.Graph, error) {
+	if err := b.g.Build(); err != nil {
+		return nil, fmt.Errorf("models: %w", err)
+	}
+	return b.g, nil
+}

@@ -1,0 +1,71 @@
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// denseNetBlocks maps depth to the number of conv blocks per dense block.
+var denseNetBlocks = map[int][4]int{
+	121: {6, 12, 24, 16},
+	169: {6, 12, 32, 32},
+	201: {6, 12, 48, 32},
+}
+
+// denseNet builds DenseNet-121/169/201. Every conv block concatenates its
+// growth-rate output back onto the running feature map, which makes the
+// whole graph one long topological chain — the reason Table I reports
+// depth = |V| − 1 for the DenseNets.
+func denseNet(name string, depth int) (*graph.Graph, error) {
+	const growth = 32
+	blocks := denseNetBlocks[depth]
+	b := newBuilder(name)
+
+	x := b.input(224, 224, 3)
+	x = b.pad("zero_padding2d", x, 3)
+	x = b.conv("conv1/conv", x, 7, 7, 2, 64, false, false)
+	x = b.bn("conv1/bn", x)
+	x = b.relu("conv1/relu", x)
+	x = b.pad("zero_padding2d_1", x, 1)
+	x = b.maxPool("pool1", x, 3, 2, false)
+
+	channels := 64
+	for d := 0; d < 4; d++ {
+		for blk := 0; blk < blocks[d]; blk++ {
+			x = denseConvBlock(b, fmt.Sprintf("conv%d_block%d", d+2, blk+1), x, growth)
+			channels += growth
+		}
+		if d < 3 {
+			channels /= 2 // compression θ = 0.5
+			x = denseTransition(b, fmt.Sprintf("pool%d", d+2), x, channels)
+		}
+	}
+
+	x = b.bn("bn", x)
+	x = b.relu("relu", x)
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}
+
+// denseConvBlock is Keras' conv_block: bottleneck 1×1 to 4×growth channels
+// followed by a 3×3 producing growth channels, concatenated onto the input.
+func denseConvBlock(b *builder, name string, x, growth int) int {
+	y := b.bn(name+"_0_bn", x)
+	y = b.relu(name+"_0_relu", y)
+	y = b.conv(name+"_1_conv", y, 1, 1, 1, 4*growth, true, false)
+	y = b.bn(name+"_1_bn", y)
+	y = b.relu(name+"_1_relu", y)
+	y = b.conv(name+"_2_conv", y, 3, 3, 1, growth, true, false)
+	return b.concat(name+"_concat", x, y)
+}
+
+// denseTransition is Keras' transition_block: 1×1 compression conv plus
+// 2×2 average pooling.
+func denseTransition(b *builder, name string, x, outC int) int {
+	y := b.bn(name+"_bn", x)
+	y = b.relu(name+"_relu", y)
+	y = b.conv(name+"_conv", y, 1, 1, 1, outC, true, false)
+	return b.avgPool(name+"_pool", y, 2, 2, false)
+}

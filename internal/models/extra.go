@@ -1,0 +1,87 @@
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// The models in this file are extensions beyond the paper's evaluation set
+// (they appear in neither Table I nor Figure 5): additional architectures
+// a downstream user of the scheduler is likely to deploy on Edge TPUs.
+
+// vgg16 builds VGG-16 at Keras layer granularity: a pure chain of
+// convolution blocks with enormous fully-connected layers — the classic
+// stress test for parameter-memory-aware scheduling (≈138 MiB of int8
+// weights, dominated by fc1).
+func vgg16() (*graph.Graph, error) {
+	b := newBuilder("VGG16")
+	x := b.input(224, 224, 3)
+	blocks := []struct {
+		convs, filters int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	for bi, blk := range blocks {
+		for c := 1; c <= blk.convs; c++ {
+			x = b.conv(fmt.Sprintf("block%d_conv%d", bi+1, c), x, 3, 3, 1, blk.filters, true, true)
+		}
+		x = b.maxPool(fmt.Sprintf("block%d_pool", bi+1), x, 2, 2, false)
+	}
+	// Flatten is a real Keras layer; model it as a zero-cost reshape node.
+	in := b.shape(x)
+	x = b.add(graph.Node{Name: "flatten", Kind: graph.OpOther}, Shape{1, 1, in.Elems2D()}, x)
+	x = b.dense("fc1", x, 4096)
+	x = b.dense("fc2", x, 4096)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}
+
+// mobileNetV1 builds MobileNetV1 (α = 1.0, 224×224): depthwise-separable
+// chain with explicit zero-padding before each strided depthwise conv, at
+// Keras layer granularity.
+func mobileNetV1() (*graph.Graph, error) {
+	b := newBuilder("MobileNet")
+	x := b.input(224, 224, 3)
+	x = b.pad("conv1_pad", x, 1)
+	x = b.conv("conv1", x, 3, 3, 2, 32, false, false)
+	x = b.bn("conv1_bn", x)
+	x = b.relu("conv1_relu", x)
+
+	type blk struct {
+		filters int
+		stride  int
+	}
+	blocks := []blk{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, bb := range blocks {
+		name := fmt.Sprintf("conv_dw_%d", i+1)
+		if bb.stride == 2 {
+			x = b.pad(fmt.Sprintf("conv_pad_%d", i+1), x, 1)
+			x = b.dwConv(name, x, 3, 2, false)
+		} else {
+			x = b.dwConv(name, x, 3, 1, true)
+		}
+		x = b.bn(name+"_bn", x)
+		x = b.relu(name+"_relu", x)
+		pw := fmt.Sprintf("conv_pw_%d", i+1)
+		x = b.conv(pw, x, 1, 1, 1, bb.filters, true, false)
+		x = b.bn(pw+"_bn", x)
+		x = b.relu(pw+"_relu", x)
+	}
+
+	x = b.gap("global_average_pooling2d", x)
+	// Keras MobileNet finishes with reshape → dropout → 1×1 conv_preds →
+	// reshape → softmax; the two reshapes and dropout are real layers.
+	in := b.shape(x)
+	x = b.add(graph.Node{Name: "reshape_1", Kind: graph.OpOther}, in, x)
+	x = b.add(graph.Node{Name: "dropout", Kind: graph.OpOther}, in, x)
+	x = b.conv("conv_preds", x, 1, 1, 1, 1000, true, true)
+	x = b.add(graph.Node{Name: "reshape_2", Kind: graph.OpOther}, Shape{1, 1, 1000}, x)
+	b.add(graph.Node{Name: "act_softmax", Kind: graph.OpSoftmax, MACs: 1000}, Shape{1, 1, 1000}, x)
+	return b.finish()
+}
+
+// Elems2D flattens a shape to a channel count for dense layers.
+func (s Shape) Elems2D() int { return s.H * s.W * s.C }

@@ -1,0 +1,29 @@
+package models
+
+import (
+	"testing"
+
+	"respect/internal/graph"
+)
+
+// TestExtensionModels pins the structure of the extension architectures
+// (not part of the paper's evaluation set). VGG16's 23 nodes match the
+// Keras layer count; parameter totals match the published sizes (VGG16
+// ~138M params, MobileNetV1 ~4.2M).
+func TestExtensionModels(t *testing.T) {
+	want := map[string]graph.Stats{
+		"VGG16":     {V: 23, Deg: 1, Depth: 22},
+		"MobileNet": {V: 93, Deg: 1, Depth: 92},
+	}
+	wantMB := map[string]float64{"VGG16": 132.0, "MobileNet": 4.1}
+	for name, w := range want {
+		g := MustLoad(name)
+		if got := g.Stats(); got != w {
+			t.Errorf("%s stats = %+v, want %+v", name, got, w)
+		}
+		mb := float64(g.TotalParamBytes()) / (1 << 20)
+		if mb < wantMB[name]*0.9 || mb > wantMB[name]*1.1 {
+			t.Errorf("%s params %.1f MiB, want ~%.1f", name, mb, wantMB[name])
+		}
+	}
+}

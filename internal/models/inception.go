@@ -1,0 +1,199 @@
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// inceptionV3 builds InceptionV3: factorized-convolution inception modules
+// over a 299×299 input. Appears in the paper's Figure 5 gap-to-optimal
+// study.
+func inceptionV3() (*graph.Graph, error) {
+	b := newBuilder("Inception_v3")
+
+	x := b.input(299, 299, 3)
+	x = b.convBN("conv2d_1", x, 3, 3, 2, 32, false)
+	x = b.convBN("conv2d_2", x, 3, 3, 1, 32, false)
+	x = b.convBN("conv2d_3", x, 3, 3, 1, 64, true)
+	x = b.maxPool("max_pooling2d_1", x, 3, 2, false)
+	x = b.convBN("conv2d_4", x, 1, 1, 1, 80, false)
+	x = b.convBN("conv2d_5", x, 3, 3, 1, 192, false)
+	x = b.maxPool("max_pooling2d_2", x, 3, 2, false)
+
+	// mixed 0..2: 35×35 modules with 5×5 branch.
+	for i, poolC := range []int{32, 64, 64} {
+		name := fmt.Sprintf("mixed%d", i)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 64, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, 48, true)
+		b1 = b.convBN(name+"_b1_2", b1, 5, 5, 1, 64, true)
+		b2 := b.convBN(name+"_b2_1", x, 1, 1, 1, 64, true)
+		b2 = b.convBN(name+"_b2_2", b2, 3, 3, 1, 96, true)
+		b2 = b.convBN(name+"_b2_3", b2, 3, 3, 1, 96, true)
+		bp := b.avgPool(name+"_pool", x, 3, 1, true)
+		bp = b.convBN(name+"_bp", bp, 1, 1, 1, poolC, true)
+		x = b.concat(name, b0, b1, b2, bp)
+	}
+
+	// mixed 3: grid reduction to 17×17.
+	{
+		b0 := b.convBN("mixed3_b0", x, 3, 3, 2, 384, false)
+		b1 := b.convBN("mixed3_b1_1", x, 1, 1, 1, 64, true)
+		b1 = b.convBN("mixed3_b1_2", b1, 3, 3, 1, 96, true)
+		b1 = b.convBN("mixed3_b1_3", b1, 3, 3, 2, 96, false)
+		bp := b.maxPool("mixed3_pool", x, 3, 2, false)
+		x = b.concat("mixed3", b0, b1, bp)
+	}
+
+	// mixed 4..7: 17×17 modules with factorized 7×7 branches.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		name := fmt.Sprintf("mixed%d", i+4)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 192, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, c7, true)
+		b1 = b.convBN(name+"_b1_2", b1, 1, 7, 1, c7, true)
+		b1 = b.convBN(name+"_b1_3", b1, 7, 1, 1, 192, true)
+		b2 := b.convBN(name+"_b2_1", x, 1, 1, 1, c7, true)
+		b2 = b.convBN(name+"_b2_2", b2, 7, 1, 1, c7, true)
+		b2 = b.convBN(name+"_b2_3", b2, 1, 7, 1, c7, true)
+		b2 = b.convBN(name+"_b2_4", b2, 7, 1, 1, c7, true)
+		b2 = b.convBN(name+"_b2_5", b2, 1, 7, 1, 192, true)
+		bp := b.avgPool(name+"_pool", x, 3, 1, true)
+		bp = b.convBN(name+"_bp", bp, 1, 1, 1, 192, true)
+		x = b.concat(name, b0, b1, b2, bp)
+	}
+
+	// mixed 8: grid reduction to 8×8.
+	{
+		b0 := b.convBN("mixed8_b0_1", x, 1, 1, 1, 192, true)
+		b0 = b.convBN("mixed8_b0_2", b0, 3, 3, 2, 320, false)
+		b1 := b.convBN("mixed8_b1_1", x, 1, 1, 1, 192, true)
+		b1 = b.convBN("mixed8_b1_2", b1, 1, 7, 1, 192, true)
+		b1 = b.convBN("mixed8_b1_3", b1, 7, 1, 1, 192, true)
+		b1 = b.convBN("mixed8_b1_4", b1, 3, 3, 2, 192, false)
+		bp := b.maxPool("mixed8_pool", x, 3, 2, false)
+		x = b.concat("mixed8", b0, b1, bp)
+	}
+
+	// mixed 9..10: 8×8 modules with split 1×3 / 3×1 branches.
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("mixed%d", i+9)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 320, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, 384, true)
+		b1a := b.convBN(name+"_b1_2a", b1, 1, 3, 1, 384, true)
+		b1b := b.convBN(name+"_b1_2b", b1, 3, 1, 1, 384, true)
+		b1c := b.concat(name+"_b1_concat", b1a, b1b)
+		b2 := b.convBN(name+"_b2_1", x, 1, 1, 1, 448, true)
+		b2 = b.convBN(name+"_b2_2", b2, 3, 3, 1, 384, true)
+		b2a := b.convBN(name+"_b2_3a", b2, 1, 3, 1, 384, true)
+		b2b := b.convBN(name+"_b2_3b", b2, 3, 1, 1, 384, true)
+		b2c := b.concat(name+"_b2_concat", b2a, b2b)
+		bp := b.avgPool(name+"_pool", x, 3, 1, true)
+		bp = b.convBN(name+"_bp", bp, 1, 1, 1, 192, true)
+		x = b.concat(name, b0, b1c, b2c, bp)
+	}
+
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}
+
+// inceptionResNetV2 builds Inception-ResNet-v2: the largest evaluated
+// graph (|V| = 782, deg(V) = 4 via the four-way mixed_5b and mixed_7a
+// concatenations). Residual scaling lambdas are single two-input nodes,
+// matching the paper's DAG extraction.
+func inceptionResNetV2() (*graph.Graph, error) {
+	b := newBuilder("InceptionResNetv2")
+
+	x := b.input(299, 299, 3)
+	x = b.convBN("conv2d_1", x, 3, 3, 2, 32, false)
+	x = b.convBN("conv2d_2", x, 3, 3, 1, 32, false)
+	x = b.convBN("conv2d_3", x, 3, 3, 1, 64, true)
+	x = b.maxPool("max_pooling2d_1", x, 3, 2, false)
+	x = b.convBN("conv2d_4", x, 1, 1, 1, 80, false)
+	x = b.convBN("conv2d_5", x, 3, 3, 1, 192, false)
+	x = b.maxPool("max_pooling2d_2", x, 3, 2, false)
+
+	// mixed_5b (Inception-A): the four-way concat that sets deg(V) = 4.
+	{
+		b0 := b.convBN("mixed_5b_b0", x, 1, 1, 1, 96, true)
+		b1 := b.convBN("mixed_5b_b1_1", x, 1, 1, 1, 48, true)
+		b1 = b.convBN("mixed_5b_b1_2", b1, 5, 5, 1, 64, true)
+		b2 := b.convBN("mixed_5b_b2_1", x, 1, 1, 1, 64, true)
+		b2 = b.convBN("mixed_5b_b2_2", b2, 3, 3, 1, 96, true)
+		b2 = b.convBN("mixed_5b_b2_3", b2, 3, 3, 1, 96, true)
+		bp := b.avgPool("mixed_5b_pool", x, 3, 1, true)
+		bp = b.convBN("mixed_5b_bp", bp, 1, 1, 1, 64, true)
+		x = b.concat("mixed_5b", b0, b1, b2, bp)
+	}
+
+	// 10 × block35 (Inception-ResNet-A).
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("block35_%d", i)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 32, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, 32, true)
+		b1 = b.convBN(name+"_b1_2", b1, 3, 3, 1, 32, true)
+		b2 := b.convBN(name+"_b2_1", x, 1, 1, 1, 32, true)
+		b2 = b.convBN(name+"_b2_2", b2, 3, 3, 1, 48, true)
+		b2 = b.convBN(name+"_b2_3", b2, 3, 3, 1, 64, true)
+		mix := b.concat(name+"_mixed", b0, b1, b2)
+		up := b.conv(name+"_conv", mix, 1, 1, 1, 320, true, true)
+		x = b.scaleAdd(name, x, up)
+		x = b.relu(name+"_ac", x)
+	}
+
+	// mixed_6a (Reduction-A).
+	{
+		b0 := b.convBN("mixed_6a_b0", x, 3, 3, 2, 384, false)
+		b1 := b.convBN("mixed_6a_b1_1", x, 1, 1, 1, 256, true)
+		b1 = b.convBN("mixed_6a_b1_2", b1, 3, 3, 1, 256, true)
+		b1 = b.convBN("mixed_6a_b1_3", b1, 3, 3, 2, 384, false)
+		bp := b.maxPool("mixed_6a_pool", x, 3, 2, false)
+		x = b.concat("mixed_6a", b0, b1, bp)
+	}
+
+	// 20 × block17 (Inception-ResNet-B).
+	for i := 1; i <= 20; i++ {
+		name := fmt.Sprintf("block17_%d", i)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 192, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, 128, true)
+		b1 = b.convBN(name+"_b1_2", b1, 1, 7, 1, 160, true)
+		b1 = b.convBN(name+"_b1_3", b1, 7, 1, 1, 192, true)
+		mix := b.concat(name+"_mixed", b0, b1)
+		up := b.conv(name+"_conv", mix, 1, 1, 1, 1088, true, true)
+		x = b.scaleAdd(name, x, up)
+		x = b.relu(name+"_ac", x)
+	}
+
+	// mixed_7a (Reduction-B): the second four-way concat.
+	{
+		b0 := b.convBN("mixed_7a_b0_1", x, 1, 1, 1, 256, true)
+		b0 = b.convBN("mixed_7a_b0_2", b0, 3, 3, 2, 384, false)
+		b1 := b.convBN("mixed_7a_b1_1", x, 1, 1, 1, 256, true)
+		b1 = b.convBN("mixed_7a_b1_2", b1, 3, 3, 2, 288, false)
+		b2 := b.convBN("mixed_7a_b2_1", x, 1, 1, 1, 256, true)
+		b2 = b.convBN("mixed_7a_b2_2", b2, 3, 3, 1, 288, true)
+		b2 = b.convBN("mixed_7a_b2_3", b2, 3, 3, 2, 320, false)
+		bp := b.maxPool("mixed_7a_pool", x, 3, 2, false)
+		x = b.concat("mixed_7a", b0, b1, b2, bp)
+	}
+
+	// 9 × block8 with relu, plus the final scale-1.0 block without.
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("block8_%d", i)
+		b0 := b.convBN(name+"_b0", x, 1, 1, 1, 192, true)
+		b1 := b.convBN(name+"_b1_1", x, 1, 1, 1, 192, true)
+		b1 = b.convBN(name+"_b1_2", b1, 1, 3, 1, 224, true)
+		b1 = b.convBN(name+"_b1_3", b1, 3, 1, 1, 256, true)
+		mix := b.concat(name+"_mixed", b0, b1)
+		up := b.conv(name+"_conv", mix, 1, 1, 1, 2080, true, true)
+		x = b.scaleAdd(name, x, up)
+		if i < 10 {
+			x = b.relu(name+"_ac", x)
+		}
+	}
+
+	x = b.convBN("conv_7b", x, 1, 1, 1, 1536, true)
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}

@@ -1,0 +1,92 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"respect/internal/graph"
+)
+
+// generators maps canonical model names to their graph constructors. Names
+// follow the paper's spelling in Table I and Figure 5.
+var generators = map[string]func() (*graph.Graph, error){
+	"Xception":          xception,
+	"ResNet50":          func() (*graph.Graph, error) { return resNetV1("ResNet50", 50) },
+	"ResNet101":         func() (*graph.Graph, error) { return resNetV1("ResNet101", 101) },
+	"ResNet152":         func() (*graph.Graph, error) { return resNetV1("ResNet152", 152) },
+	"ResNet50v2":        func() (*graph.Graph, error) { return resNetV2("ResNet50v2", 50) },
+	"ResNet101v2":       func() (*graph.Graph, error) { return resNetV2("ResNet101v2", 101) },
+	"ResNet152v2":       func() (*graph.Graph, error) { return resNetV2("ResNet152v2", 152) },
+	"DenseNet121":       func() (*graph.Graph, error) { return denseNet("DenseNet121", 121) },
+	"DenseNet169":       func() (*graph.Graph, error) { return denseNet("DenseNet169", 169) },
+	"DenseNet201":       func() (*graph.Graph, error) { return denseNet("DenseNet201", 201) },
+	"Inception_v3":      inceptionV3,
+	"InceptionResNetv2": inceptionResNetV2,
+	// Extension models beyond the paper's evaluation set.
+	"VGG16":     vgg16,
+	"MobileNet": mobileNetV1,
+}
+
+// TableI holds the paper's Table I statistics for the ten inference-runtime
+// benchmark models; construction tests assert these exactly.
+var TableI = map[string]graph.Stats{
+	"Xception":          {V: 134, Deg: 2, Depth: 125},
+	"ResNet50":          {V: 177, Deg: 2, Depth: 168},
+	"ResNet101":         {V: 347, Deg: 2, Depth: 338},
+	"ResNet152":         {V: 517, Deg: 2, Depth: 508},
+	"DenseNet121":       {V: 429, Deg: 2, Depth: 428},
+	"ResNet101v2":       {V: 379, Deg: 2, Depth: 371},
+	"ResNet152v2":       {V: 566, Deg: 2, Depth: 558},
+	"DenseNet169":       {V: 597, Deg: 2, Depth: 596},
+	"DenseNet201":       {V: 709, Deg: 2, Depth: 708},
+	"InceptionResNetv2": {V: 782, Deg: 4, Depth: 571},
+}
+
+// Names returns all available model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(generators))
+	for name := range generators {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableINames returns the ten Table I benchmark models in the paper's
+// row order.
+func TableINames() []string {
+	return []string{
+		"Xception", "ResNet50", "ResNet101", "ResNet152",
+		"DenseNet121", "ResNet101v2", "ResNet152v2", "DenseNet169",
+		"DenseNet201", "InceptionResNetv2",
+	}
+}
+
+// Figure5Names returns the twelve models of the gap-to-optimal study in
+// the paper's plotting order.
+func Figure5Names() []string {
+	return []string{
+		"DenseNet121", "DenseNet169", "DenseNet201",
+		"ResNet50", "ResNet101", "ResNet152",
+		"ResNet50v2", "ResNet101v2", "InceptionResNetv2",
+		"ResNet152v2", "Inception_v3", "Xception",
+	}
+}
+
+// Load constructs the named model's computational graph.
+func Load(name string) (*graph.Graph, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return gen()
+}
+
+// MustLoad is Load that panics on error; generators are covered by tests.
+func MustLoad(name string) *graph.Graph {
+	g, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,132 @@
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// resNetBlocks maps depth to the per-stack block counts of the ResNet
+// family.
+var resNetBlocks = map[int][4]int{
+	50:  {3, 4, 6, 3},
+	101: {3, 4, 23, 3},
+	152: {3, 8, 36, 3},
+}
+
+// resNetV1 builds ResNet-50/101/152 (post-activation residual networks) at
+// Keras layer granularity.
+func resNetV1(name string, depth int) (*graph.Graph, error) {
+	blocks := resNetBlocks[depth]
+	b := newBuilder(name)
+
+	x := b.input(224, 224, 3)
+	x = b.pad("conv1_pad", x, 3)
+	x = b.conv("conv1_conv", x, 7, 7, 2, 64, false, true)
+	x = b.bn("conv1_bn", x)
+	x = b.relu("conv1_relu", x)
+	x = b.pad("pool1_pad", x, 1)
+	x = b.maxPool("pool1_pool", x, 3, 2, false)
+
+	filters := [4]int{64, 128, 256, 512}
+	for s := 0; s < 4; s++ {
+		stride := 2
+		if s == 0 {
+			stride = 1
+		}
+		for blk := 0; blk < blocks[s]; blk++ {
+			st := 1
+			convShortcut := false
+			if blk == 0 {
+				st = stride
+				convShortcut = true
+			}
+			x = resV1Block(b, blockName(s, blk), x, filters[s], st, convShortcut)
+		}
+	}
+
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}
+
+// resV1Block is Keras' block1: bottleneck conv stack with post-activation
+// and an optional projection shortcut.
+func resV1Block(b *builder, name string, x, filters, stride int, convShortcut bool) int {
+	shortcut := x
+	if convShortcut {
+		sc := b.conv(name+"_0_conv", x, 1, 1, stride, 4*filters, true, true)
+		shortcut = b.bn(name+"_0_bn", sc)
+	}
+	y := b.conv(name+"_1_conv", x, 1, 1, stride, filters, true, true)
+	y = b.bn(name+"_1_bn", y)
+	y = b.relu(name+"_1_relu", y)
+	y = b.conv(name+"_2_conv", y, 3, 3, 1, filters, true, true)
+	y = b.bn(name+"_2_bn", y)
+	y = b.relu(name+"_2_relu", y)
+	y = b.conv(name+"_3_conv", y, 1, 1, 1, 4*filters, true, true)
+	y = b.bn(name+"_3_bn", y)
+	y = b.addOp(name+"_add", shortcut, y)
+	return b.relu(name+"_out", y)
+}
+
+// resNetV2 builds ResNet-50V2/101V2/152V2 (pre-activation residual
+// networks). Differences from v1 that matter for the graph shape: a
+// bn-free stem, pre-activation bn+relu in every block, an explicit zero-pad
+// before the strided 3×3, stride applied in the *last* block of each of
+// the first three stacks (with a max-pool shortcut), and a bn+relu head.
+func resNetV2(name string, depth int) (*graph.Graph, error) {
+	blocks := resNetBlocks[depth]
+	b := newBuilder(name)
+
+	x := b.input(224, 224, 3)
+	x = b.pad("conv1_pad", x, 3)
+	x = b.conv("conv1_conv", x, 7, 7, 2, 64, false, true)
+	x = b.pad("pool1_pad", x, 1)
+	x = b.maxPool("pool1_pool", x, 3, 2, false)
+
+	filters := [4]int{64, 128, 256, 512}
+	for s := 0; s < 4; s++ {
+		for blk := 0; blk < blocks[s]; blk++ {
+			stride := 1
+			if blk == blocks[s]-1 && s < 3 {
+				stride = 2 // Keras stack2: stride1 on the final block
+			}
+			x = resV2Block(b, blockName(s, blk), x, filters[s], stride, blk == 0)
+		}
+	}
+
+	x = b.bn("post_bn", x)
+	x = b.relu("post_relu", x)
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}
+
+// resV2Block is Keras' block2: pre-activation bottleneck.
+func resV2Block(b *builder, name string, x, filters, stride int, convShortcut bool) int {
+	preact := b.bn(name+"_preact_bn", x)
+	preact = b.relu(name+"_preact_relu", preact)
+
+	shortcut := x
+	switch {
+	case convShortcut:
+		shortcut = b.conv(name+"_0_conv", preact, 1, 1, stride, 4*filters, true, true)
+	case stride > 1:
+		shortcut = b.maxPool(name+"_0_pool", x, 1, stride, true)
+	}
+
+	y := b.conv(name+"_1_conv", preact, 1, 1, 1, filters, true, false)
+	y = b.bn(name+"_1_bn", y)
+	y = b.relu(name+"_1_relu", y)
+	y = b.pad(name+"_2_pad", y, 1)
+	y = b.conv(name+"_2_conv", y, 3, 3, stride, filters, false, false)
+	y = b.bn(name+"_2_bn", y)
+	y = b.relu(name+"_2_relu", y)
+	y = b.conv(name+"_3_conv", y, 1, 1, 1, 4*filters, true, true)
+	return b.addOp(name+"_out", shortcut, y)
+}
+
+func blockName(stack, block int) string {
+	return fmt.Sprintf("conv%d_block%d", stack+2, block+1)
+}

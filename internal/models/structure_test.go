@@ -1,0 +1,141 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"respect/internal/graph"
+)
+
+// TestDenseNetsAreHamiltonianChains: the concat chain makes every DenseNet
+// a single topological path (Table I shows depth = |V| − 1).
+func TestDenseNetsAreHamiltonianChains(t *testing.T) {
+	for _, name := range []string{"DenseNet121", "DenseNet169", "DenseNet201"} {
+		g := MustLoad(name)
+		if g.Depth() != g.NumNodes()-1 {
+			t.Errorf("%s: depth %d != |V|-1 = %d", name, g.Depth(), g.NumNodes()-1)
+		}
+	}
+}
+
+// TestResNetShortcutCount: v1 ResNets carry exactly four projection
+// shortcuts (one per stack), visible as the |V| − depth − 1 off-path nodes.
+func TestResNetShortcutCount(t *testing.T) {
+	for _, name := range []string{"ResNet50", "ResNet101", "ResNet152"} {
+		g := MustLoad(name)
+		offPath := g.NumNodes() - g.Depth() - 1
+		if offPath != 8 { // 4 stacks × (conv + bn)
+			t.Errorf("%s: %d off-path nodes, want 8", name, offPath)
+		}
+	}
+	for _, name := range []string{"ResNet50v2", "ResNet101v2", "ResNet152v2"} {
+		g := MustLoad(name)
+		offPath := g.NumNodes() - g.Depth() - 1
+		if offPath != 7 { // 4 conv shortcuts + 3 max-pool shortcuts
+			t.Errorf("%s: %d off-path nodes, want 7", name, offPath)
+		}
+	}
+}
+
+// TestAddNodesHaveTwoParents: every residual add must join exactly two
+// tensors; every concat at least two.
+func TestAddNodesHaveTwoParents(t *testing.T) {
+	for _, name := range TableINames() {
+		g := MustLoad(name)
+		for v := 0; v < g.NumNodes(); v++ {
+			switch g.Node(v).Kind {
+			case graph.OpAdd, graph.OpMul:
+				if len(g.Pred(v)) != 2 {
+					t.Errorf("%s node %s: %d parents", name, g.Node(v).Name, len(g.Pred(v)))
+				}
+			case graph.OpConcat:
+				if len(g.Pred(v)) < 2 {
+					t.Errorf("%s node %s: concat with %d parents", name, g.Node(v).Name, len(g.Pred(v)))
+				}
+			}
+		}
+	}
+}
+
+// TestInceptionResNetFourWayConcats: deg(V) = 4 comes from exactly the two
+// documented mixed blocks.
+func TestInceptionResNetFourWayConcats(t *testing.T) {
+	g := MustLoad("InceptionResNetv2")
+	fourWay := []string{}
+	for v := 0; v < g.NumNodes(); v++ {
+		if len(g.Pred(v)) == 4 {
+			fourWay = append(fourWay, g.Node(v).Name)
+		}
+	}
+	if len(fourWay) != 2 {
+		t.Fatalf("four-way joins: %v", fourWay)
+	}
+	for _, n := range fourWay {
+		if n != "mixed_5b" && n != "mixed_7a" {
+			t.Errorf("unexpected four-way join %q", n)
+		}
+	}
+}
+
+// TestConvParamsDominate: in every CNN the conv/dense weights must hold
+// nearly all parameter bytes (bn is per-channel only).
+func TestConvParamsDominate(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLoad(name)
+		var conv, other int64
+		for v := 0; v < g.NumNodes(); v++ {
+			n := g.Node(v)
+			switch n.Kind {
+			case graph.OpConv, graph.OpDepthwiseConv, graph.OpDense:
+				conv += n.ParamBytes
+			default:
+				other += n.ParamBytes
+			}
+		}
+		if conv < 20*other {
+			t.Errorf("%s: conv params %d vs other %d", name, conv, other)
+		}
+	}
+}
+
+// TestSpatialDimsShrinkMonotonically: feature maps never grow along the
+// main path except through explicit padding.
+func TestActivationsBounded(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLoad(name)
+		input := g.Node(0).OutBytes
+		for v := 1; v < g.NumNodes(); v++ {
+			n := g.Node(v)
+			// No intermediate tensor should exceed ~22x the input image
+			// (generous: VGG16 block1 is 21.3x the input).
+			if n.OutBytes > 22*input {
+				t.Errorf("%s node %s: activation %d vs input %d", name, n.Name, n.OutBytes, input)
+			}
+		}
+	}
+}
+
+// TestNamesFollowKerasConvention spot-checks that generated names stay
+// close to the reference implementations (useful for debugging dumps).
+func TestNamesFollowKerasConvention(t *testing.T) {
+	g := MustLoad("ResNet50")
+	wantPrefixes := []string{"conv1_pad", "conv1_conv", "conv2_block1", "conv5_block3", "avg_pool", "predictions"}
+	names := map[string]bool{}
+	for v := 0; v < g.NumNodes(); v++ {
+		names[g.Node(v).Name] = true
+	}
+	joined := strings.Join(keys(names), " ")
+	for _, p := range wantPrefixes {
+		if !strings.Contains(joined, p) {
+			t.Errorf("missing Keras-style name %q", p)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package models
+
+import (
+	"fmt"
+
+	"respect/internal/graph"
+)
+
+// xception builds the Xception architecture: an entry flow of three
+// strided separable-conv residual blocks, eight middle-flow blocks and an
+// exit flow, with separable convolutions kept as single nodes (Keras layer
+// granularity). Four projection shortcuts (conv+bn) sit off the critical
+// path, giving |V| − depth − 1 = 8.
+func xception() (*graph.Graph, error) {
+	b := newBuilder("Xception")
+
+	x := b.input(299, 299, 3)
+	x = b.conv("block1_conv1", x, 3, 3, 2, 32, false, false)
+	x = b.bn("block1_conv1_bn", x)
+	x = b.relu("block1_conv1_act", x)
+	x = b.conv("block1_conv2", x, 3, 3, 1, 64, false, false)
+	x = b.bn("block1_conv2_bn", x)
+	x = b.relu("block1_conv2_act", x)
+
+	for i, filters := range []int{128, 256, 728} {
+		name := fmt.Sprintf("block%d", i+2)
+		sc := b.conv(name+"_shortcut_conv", x, 1, 1, 2, filters, true, false)
+		sc = b.bn(name+"_shortcut_bn", sc)
+		y := x
+		if i > 0 {
+			y = b.relu(name+"_sepconv1_act_pre", y)
+		}
+		y = b.sepConv(name+"_sepconv1", y, 3, 1, filters, true)
+		y = b.bn(name+"_sepconv1_bn", y)
+		y = b.relu(name+"_sepconv2_act", y)
+		y = b.sepConv(name+"_sepconv2", y, 3, 1, filters, true)
+		y = b.bn(name+"_sepconv2_bn", y)
+		y = b.maxPool(name+"_pool", y, 3, 2, true)
+		x = b.addOp(name+"_add", sc, y)
+	}
+
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("block%d", i+5)
+		y := x
+		for j := 1; j <= 3; j++ {
+			y = b.relu(fmt.Sprintf("%s_sepconv%d_act", name, j), y)
+			y = b.sepConv(fmt.Sprintf("%s_sepconv%d", name, j), y, 3, 1, 728, true)
+			y = b.bn(fmt.Sprintf("%s_sepconv%d_bn", name, j), y)
+		}
+		x = b.addOp(name+"_add", x, y)
+	}
+
+	sc := b.conv("block13_shortcut_conv", x, 1, 1, 2, 1024, true, false)
+	sc = b.bn("block13_shortcut_bn", sc)
+	y := b.relu("block13_sepconv1_act", x)
+	y = b.sepConv("block13_sepconv1", y, 3, 1, 728, true)
+	y = b.bn("block13_sepconv1_bn", y)
+	y = b.relu("block13_sepconv2_act", y)
+	y = b.sepConv("block13_sepconv2", y, 3, 1, 1024, true)
+	y = b.bn("block13_sepconv2_bn", y)
+	y = b.maxPool("block13_pool", y, 3, 2, true)
+	x = b.addOp("block13_add", sc, y)
+
+	x = b.sepConv("block14_sepconv1", x, 3, 1, 1536, true)
+	x = b.bn("block14_sepconv1_bn", x)
+	x = b.relu("block14_sepconv1_act", x)
+	x = b.sepConv("block14_sepconv2", x, 3, 1, 2048, true)
+	x = b.bn("block14_sepconv2_bn", x)
+	x = b.relu("block14_sepconv2_act", x)
+
+	x = b.gap("avg_pool", x)
+	b.dense("predictions", x, 1000)
+	return b.finish()
+}

@@ -1,0 +1,189 @@
+// Package nn provides the neural building blocks of the LSTM-PtrNet agent:
+// LSTM cells, the glimpse and pointer attention heads (Vinyals et al.,
+// Bello et al.), the Adam optimizer with global-norm gradient clipping,
+// and weight (de)serialization.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ad "respect/internal/autodiff"
+	"respect/internal/tensor"
+)
+
+// LSTMCell is a single-layer LSTM with input dimension In and hidden
+// dimension Hidden. Gate order in the fused weight matrices is
+// [input, forget, cell, output].
+type LSTMCell struct {
+	In, Hidden int
+	Wx         *tensor.Mat // In × 4·Hidden
+	Wh         *tensor.Mat // Hidden × 4·Hidden
+	B          *tensor.Mat // 1 × 4·Hidden
+}
+
+// NewLSTMCell initializes a cell with Xavier weights and a forget-gate
+// bias of 1 (standard recipe for gradient flow early in training).
+func NewLSTMCell(in, hidden int, rng *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		In: in, Hidden: hidden,
+		Wx: tensor.Xavier(in, 4*hidden, rng),
+		Wh: tensor.Xavier(hidden, 4*hidden, rng),
+		B:  tensor.New(1, 4*hidden),
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		c.B.Data[j] = 1
+	}
+	return c
+}
+
+// Params returns the cell's trainable matrices.
+func (c *LSTMCell) Params() []*tensor.Mat { return []*tensor.Mat{c.Wx, c.Wh, c.B} }
+
+// State is an LSTM hidden/cell state pair on a tape.
+type State struct {
+	H, C ad.Value
+}
+
+// ZeroState returns the all-zero initial state on tape t.
+func (c *LSTMCell) ZeroState(t *ad.Tape) State {
+	return State{
+		H: t.Input(tensor.New(1, c.Hidden)),
+		C: t.Input(tensor.New(1, c.Hidden)),
+	}
+}
+
+// Step advances the cell by one timestep: (x, s) → s'.
+func (c *LSTMCell) Step(t *ad.Tape, x ad.Value, s State) State {
+	z := ad.Add(ad.Add(ad.MatMul(x, t.Param(c.Wx)), ad.MatMul(s.H, t.Param(c.Wh))), t.Param(c.B))
+	h := c.Hidden
+	i := ad.Sigmoid(ad.Slice(z, 0, h))
+	f := ad.Sigmoid(ad.Slice(z, h, 2*h))
+	g := ad.Tanh(ad.Slice(z, 2*h, 3*h))
+	o := ad.Sigmoid(ad.Slice(z, 3*h, 4*h))
+	cNew := ad.Add(ad.Mul(f, s.C), ad.Mul(i, g))
+	hNew := ad.Mul(o, ad.Tanh(cNew))
+	return State{H: hNew, C: cNew}
+}
+
+// Attention is the additive attention head used twice in the decoder:
+// once as the glimpse (returning the attention-weighted context) and once
+// as the pointer (returning the selection distribution):
+//
+//	u_i = vᵀ tanh(W1·e_i + W2·q)    (Algorithm 1's θ, ω, β)
+type Attention struct {
+	Dim int
+	W1  *tensor.Mat // Dim × Dim, over encoder contexts
+	W2  *tensor.Mat // Dim × Dim, over the query
+	V   *tensor.Mat // Dim × 1
+}
+
+// NewAttention initializes an attention head of width dim.
+func NewAttention(dim int, rng *rand.Rand) *Attention {
+	return &Attention{
+		Dim: dim,
+		W1:  tensor.Xavier(dim, dim, rng),
+		W2:  tensor.Xavier(dim, dim, rng),
+		V:   tensor.Xavier(dim, 1, rng),
+	}
+}
+
+// Params returns the head's trainable matrices.
+func (a *Attention) Params() []*tensor.Mat { return []*tensor.Mat{a.W1, a.W2, a.V} }
+
+// Precompute caches W1·E, which is constant across decoding steps.
+func (a *Attention) Precompute(t *ad.Tape, contexts ad.Value) ad.Value {
+	return ad.MatMul(contexts, t.Param(a.W1))
+}
+
+// Scores returns the unnormalized attention logits (n×1) for query q given
+// the precomputed W1·E term.
+func (a *Attention) Scores(t *ad.Tape, w1e ad.Value, q ad.Value) ad.Value {
+	s := ad.Tanh(ad.AddRowBroadcast(w1e, ad.MatMul(q, t.Param(a.W2))))
+	return ad.MatMul(s, t.Param(a.V))
+}
+
+// Glimpse returns the attention-weighted context Σ aᵢeᵢ for query q.
+func (a *Attention) Glimpse(t *ad.Tape, contexts, w1e ad.Value, q ad.Value, mask []bool) ad.Value {
+	p := ad.SoftmaxMasked(a.Scores(t, w1e, q), mask)
+	return ad.MatMul(ad.Transpose(p), contexts)
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional global-norm
+// gradient clipping, as used for the paper's training (lr 1e-4).
+type Adam struct {
+	LR         float64
+	Beta1      float64
+	Beta2      float64
+	Eps        float64
+	ClipNorm   float64 // 0 disables clipping
+	step       int
+	m, v       [][]float64
+	registered []*tensor.Mat
+}
+
+// NewAdam returns an optimizer over params with the given learning rate.
+func NewAdam(params []*tensor.Mat, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 2, registered: params}
+	for _, p := range params {
+		p.EnsureGrad()
+		a.m = append(a.m, make([]float64, len(p.Data)))
+		a.v = append(a.v, make([]float64, len(p.Data)))
+	}
+	return a
+}
+
+// GradNorm returns the current global gradient norm.
+func (a *Adam) GradNorm() float64 {
+	var s float64
+	for _, p := range a.registered {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one update from the accumulated gradients and zeroes them.
+func (a *Adam) Step() {
+	a.step++
+	scale := 1.0
+	if a.ClipNorm > 0 {
+		if n := a.GradNorm(); n > a.ClipNorm {
+			scale = a.ClipNorm / n
+		}
+	}
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for pi, p := range a.registered {
+		m, v := a.m[pi], a.v[pi]
+		for j := range p.Data {
+			g := p.Grad[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			p.Data[j] -= a.LR * (m[j] / b1c) / (math.Sqrt(v[j]/b2c) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrads clears all registered gradients without stepping.
+func (a *Adam) ZeroGrads() {
+	for _, p := range a.registered {
+		p.ZeroGrad()
+	}
+}
+
+// CheckFinite returns an error if any parameter has become NaN/Inf —
+// a training-divergence guard.
+func CheckFinite(params []*tensor.Mat) error {
+	for i, p := range params {
+		for j, v := range p.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: parameter %d entry %d is %v", i, j, v)
+			}
+		}
+	}
+	return nil
+}

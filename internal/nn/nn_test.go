@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ad "respect/internal/autodiff"
+	"respect/internal/tensor"
+)
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cell := NewLSTMCell(3, 4, rng)
+	xs := [][]float64{{0.1, -0.5, 0.3}, {0.7, 0.2, -0.9}}
+	worst, err := ad.GradCheck(cell.Params(), func(tp *ad.Tape) ad.Value {
+		s := cell.ZeroState(tp)
+		for _, x := range xs {
+			s = cell.Step(tp, tp.InputVec(x), s)
+		}
+		return ad.Sum(ad.Mul(s.H, s.H))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("worst rel err %g", worst)
+}
+
+func TestAttentionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	att := NewAttention(4, rng)
+	e := tensor.Xavier(5, 4, rng)
+	q := tensor.Xavier(1, 4, rng)
+	mask := []bool{true, true, false, true, true}
+	params := append(att.Params(), e, q)
+	worst, err := ad.GradCheck(params, func(tp *ad.Tape) ad.Value {
+		ev := tp.Param(e)
+		w1e := att.Precompute(tp, ev)
+		g := att.Glimpse(tp, ev, w1e, tp.Param(q), mask)
+		scores := att.Scores(tp, w1e, g)
+		p := ad.SoftmaxMasked(scores, mask)
+		return ad.LogPick(p, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("worst rel err %g", worst)
+}
+
+func TestLSTMStateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cell := NewLSTMCell(7, 16, rng)
+	tp := ad.NewTape()
+	s := cell.ZeroState(tp)
+	s = cell.Step(tp, tp.InputVec(make([]float64, 7)), s)
+	if r, c := s.H.Shape(); r != 1 || c != 16 {
+		t.Fatalf("H shape %dx%d", r, c)
+	}
+	if r, c := s.C.Shape(); r != 1 || c != 16 {
+		t.Fatalf("C shape %dx%d", r, c)
+	}
+}
+
+func TestForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cell := NewLSTMCell(2, 3, rng)
+	for j := 0; j < 3; j++ {
+		if cell.B.Data[j] != 0 {
+			t.Fatal("input gate bias not zero")
+		}
+		if cell.B.Data[3+j] != 1 {
+			t.Fatal("forget gate bias not one")
+		}
+	}
+}
+
+func TestAdamDescendsQuadratic(t *testing.T) {
+	// Minimize ||x - target||² with Adam; must converge near target.
+	x := tensor.FromSlice(1, 3, []float64{5, -4, 2})
+	target := []float64{1, 2, 3}
+	opt := NewAdam([]*tensor.Mat{x}, 0.05)
+	for i := 0; i < 2000; i++ {
+		x.ZeroGrad()
+		for j := range x.Data {
+			x.Grad[j] = 2 * (x.Data[j] - target[j])
+		}
+		opt.Step()
+	}
+	for j := range target {
+		if math.Abs(x.Data[j]-target[j]) > 0.05 {
+			t.Fatalf("x[%d] = %v, want %v", j, x.Data[j], target[j])
+		}
+	}
+}
+
+func TestAdamClipsGradients(t *testing.T) {
+	x := tensor.FromSlice(1, 1, []float64{0})
+	opt := NewAdam([]*tensor.Mat{x}, 0.1)
+	opt.ClipNorm = 1
+	x.Grad[0] = 1e9
+	if n := opt.GradNorm(); n != 1e9 {
+		t.Fatalf("GradNorm = %v", n)
+	}
+	opt.Step()
+	// With clipping the effective gradient is 1; Adam's first step is
+	// lr·sign ≈ 0.1 regardless, but must not be NaN and grads must zero.
+	if math.IsNaN(x.Data[0]) || x.Grad[0] != 0 {
+		t.Fatalf("step broke state: %v grad %v", x.Data[0], x.Grad[0])
+	}
+}
+
+func TestAdamStepZeroesGrads(t *testing.T) {
+	x := tensor.FromSlice(1, 2, []float64{1, 1})
+	opt := NewAdam([]*tensor.Mat{x}, 0.01)
+	x.Grad[0], x.Grad[1] = 3, 4
+	opt.Step()
+	if x.Grad[0] != 0 || x.Grad[1] != 0 {
+		t.Fatal("grads survived Step")
+	}
+	x.Grad[0] = 5
+	opt.ZeroGrads()
+	if x.Grad[0] != 0 {
+		t.Fatal("ZeroGrads failed")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	ok := tensor.FromSlice(1, 2, []float64{1, 2})
+	if err := CheckFinite([]*tensor.Mat{ok}); err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.FromSlice(1, 1, []float64{math.NaN()})
+	if err := CheckFinite([]*tensor.Mat{ok, bad}); err == nil {
+		t.Fatal("NaN undetected")
+	}
+}
+
+func TestLSTMLongSequenceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cell := NewLSTMCell(4, 8, rng)
+	tp := ad.NewTape()
+	s := cell.ZeroState(tp)
+	x := make([]float64, 4)
+	for i := 0; i < 100; i++ {
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		s = cell.Step(tp, tp.InputVec(x), s)
+	}
+	for _, v := range s.H.Data() {
+		if math.IsNaN(v) || math.Abs(v) > 1 {
+			t.Fatalf("hidden state out of range: %v", v)
+		}
+	}
+}

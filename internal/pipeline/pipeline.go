@@ -1,0 +1,183 @@
+// Package pipeline is a discrete-event executor for a deployed multi-stage
+// Edge TPU system: the host runtime of the paper's Figure 2. Where package
+// tpu computes closed-form steady-state latencies, this package *runs* the
+// pipeline — every inference is an entity flowing host → stage 0 → host →
+// stage 1 → …, with per-stage service times from the same hardware cost
+// model, bounded inter-stage queues, and event-accurate clocks.
+//
+// The executor serves three purposes: it validates the analytic model
+// (steady-state throughput must agree — tested), it exposes transient
+// behaviour the closed form cannot (fill/drain, queue occupancy, stage
+// utilization), and it is the natural place to run deployed sub-model
+// images end to end.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+	"respect/internal/tpu"
+)
+
+// Config controls an execution run.
+type Config struct {
+	// Inferences is the number of inputs pushed through the pipe.
+	Inferences int
+	// QueueDepth bounds each inter-stage buffer (the host's per-device
+	// staging buffers); 0 means depth 1 (rendezvous).
+	QueueDepth int
+}
+
+// StageStats aggregates per-stage behaviour over a run.
+type StageStats struct {
+	// Busy is total service time.
+	Busy time.Duration
+	// Blocked is time spent output-blocked on a full downstream queue.
+	Blocked time.Duration
+	// Idle is time spent waiting for input.
+	Idle time.Duration
+	// Utilization is Busy / makespan.
+	Utilization float64
+	// MaxQueue is the peak occupancy of the stage's input queue.
+	MaxQueue int
+}
+
+// Result is the outcome of an execution run.
+type Result struct {
+	// Makespan is the total wall clock from first input to last output.
+	Makespan time.Duration
+	// MeanLatency is the average per-inference end-to-end latency
+	// (including queueing).
+	MeanLatency time.Duration
+	// Throughput is Inferences / Makespan, per second.
+	Throughput float64
+	// Stages are the per-stage statistics.
+	Stages []StageStats
+	// Completions holds each inference's completion time, ascending.
+	Completions []time.Duration
+}
+
+// Run executes cfg.Inferences inputs through the schedule's pipeline on
+// hw, using the same per-stage service times as the analytic simulator.
+func Run(g *graph.Graph, s sched.Schedule, hw tpu.HW, cfg Config) (*Result, error) {
+	if cfg.Inferences <= 0 {
+		return nil, fmt.Errorf("pipeline: %d inferences", cfg.Inferences)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	rep, err := tpu.Simulate(g, s, hw)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rep.Stages)
+
+	// start[k][i]: when stage k begins inference i; finish[k][i] likewise.
+	// A stage starts inference i when (a) the previous stage finished it,
+	// (b) the stage itself finished inference i-1, and (c) the downstream
+	// queue has room: stage k+1 must have *started* inference i-depth.
+	finish := make([][]time.Duration, n)
+	start := make([][]time.Duration, n)
+	for k := 0; k < n; k++ {
+		finish[k] = make([]time.Duration, cfg.Inferences)
+		start[k] = make([]time.Duration, cfg.Inferences)
+	}
+
+	// Two passes are needed for back-pressure (stage k depends on stage
+	// k+1's starts); iterate to a fixed point — with finite depth this
+	// converges in at most n sweeps because blocking only propagates
+	// upstream one stage per sweep.
+	for sweep := 0; sweep < n+1; sweep++ {
+		changed := false
+		for i := 0; i < cfg.Inferences; i++ {
+			for k := 0; k < n; k++ {
+				var t time.Duration
+				if k > 0 {
+					t = finish[k-1][i]
+				}
+				if i > 0 && finish[k][i-1] > t {
+					t = finish[k][i-1]
+				}
+				if k+1 < n && i >= depth {
+					if bp := start[k+1][i-depth]; bp > t {
+						t = bp
+					}
+				}
+				f := t + rep.Stages[k].Total
+				if start[k][i] != t || finish[k][i] != f {
+					start[k][i] = t
+					finish[k][i] = f
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	res := &Result{Stages: make([]StageStats, n)}
+	last := finish[n-1][cfg.Inferences-1]
+	res.Makespan = last
+	res.Completions = make([]time.Duration, cfg.Inferences)
+	var latSum time.Duration
+	for i := 0; i < cfg.Inferences; i++ {
+		res.Completions[i] = finish[n-1][i]
+		latSum += finish[n-1][i] - start[0][i]
+	}
+	sort.Slice(res.Completions, func(a, b int) bool { return res.Completions[a] < res.Completions[b] })
+	res.MeanLatency = latSum / time.Duration(cfg.Inferences)
+	if last > 0 {
+		res.Throughput = float64(cfg.Inferences) / last.Seconds()
+	}
+
+	for k := 0; k < n; k++ {
+		st := &res.Stages[k]
+		st.Busy = time.Duration(cfg.Inferences) * rep.Stages[k].Total
+		// Idle: gaps between consecutive services plus lead-in.
+		var gaps time.Duration
+		for i := 1; i < cfg.Inferences; i++ {
+			if d := start[k][i] - finish[k][i-1]; d > 0 {
+				gaps += d
+			}
+		}
+		st.Idle = start[k][0] + gaps
+		// Blocked: time an inference sat finished upstream before this
+		// stage could accept it (queueing delay attributed upstream).
+		if k > 0 {
+			for i := 0; i < cfg.Inferences; i++ {
+				if d := start[k][i] - finish[k-1][i]; d > 0 {
+					st.Blocked += d
+				}
+			}
+		}
+		if res.Makespan > 0 {
+			st.Utilization = float64(st.Busy) / float64(res.Makespan)
+			if st.Utilization > 1 {
+				st.Utilization = 1
+			}
+		}
+		// Peak input-queue occupancy just before each start: upstream
+		// completions no later than the start, minus inferences already
+		// consumed. FIFO makes finish[k-1] non-decreasing, so a binary
+		// search counts completions.
+		if k > 0 {
+			up := finish[k-1]
+			maxQ := 0
+			for i := 0; i < cfg.Inferences; i++ {
+				done := sort.Search(cfg.Inferences, func(j int) bool {
+					return up[j] > start[k][i]
+				})
+				if q := done - i; q > maxQ {
+					maxQ = q
+				}
+			}
+			st.MaxQueue = maxQ
+		}
+	}
+	return res, nil
+}

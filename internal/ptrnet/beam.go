@@ -1,0 +1,187 @@
+package ptrnet
+
+import (
+	"math"
+	"sort"
+)
+
+// InferBeam is forward-only beam-search decoding with the given width:
+// at each step every live beam expands to its `width` most probable next
+// nodes and the `width` highest log-probability partial sequences survive.
+// Width 1 reduces to greedy Infer. Beam search trades width× compute for
+// sequences of higher model likelihood — the third standard pointer-
+// network inference mode beside greedy and sampling (Bello et al.).
+func (m *Model) InferBeam(emb [][]float64, width int) []int {
+	n := len(emb)
+	if width < 2 {
+		return m.Infer(emb)
+	}
+	if width > n {
+		width = n
+	}
+	h := m.Cfg.Hidden
+	f := newFwd(m)
+
+	// Shared encoder pass.
+	encH := make([]float64, h)
+	encC := make([]float64, h)
+	contexts := make([]float64, n*h)
+	for i := 0; i < n; i++ {
+		f.lstmStep(m.Enc, emb[i], encH, encC)
+		copy(contexts[i*h:(i+1)*h], encH)
+	}
+	w1g := f.matMulNM(contexts, n, m.Glimpse.W1)
+	w1p := f.matMulNM(contexts, n, m.Pointer.W1)
+
+	type beam struct {
+		decH, decC []float64
+		mask       []bool
+		seq        []int
+		logp       float64
+		d          []float64 // next decoder input
+	}
+	start := &beam{
+		decH: append([]float64(nil), encH...),
+		decC: append([]float64(nil), encC...),
+		mask: make([]bool, n),
+		d:    append([]float64(nil), m.Dec0.Data...),
+	}
+	for i := range start.mask {
+		start.mask[i] = true
+	}
+	beams := []*beam{start}
+
+	probs := make([]float64, n)
+	g := make([]float64, h)
+	type cand struct {
+		parent *beam
+		node   int
+		logp   float64
+	}
+	for step := 0; step < n; step++ {
+		cands := make([]cand, 0, len(beams)*width)
+		for _, b := range beams {
+			// Advance the decoder one step for this beam.
+			f.lstmStep(m.Dec, b.d, b.decH, b.decC)
+			f.attScores(m.Glimpse, w1g, b.decH, probs, n)
+			softmaxMasked(probs, b.mask)
+			for j := 0; j < h; j++ {
+				g[j] = 0
+			}
+			for i := 0; i < n; i++ {
+				if probs[i] == 0 {
+					continue
+				}
+				row := contexts[i*h : (i+1)*h]
+				pv := probs[i]
+				for j := 0; j < h; j++ {
+					g[j] += pv * row[j]
+				}
+			}
+			f.attScores(m.Pointer, w1p, g, probs, n)
+			softmaxMasked(probs, b.mask)
+
+			// Top `width` expansions of this beam.
+			type nv struct {
+				node int
+				p    float64
+			}
+			local := make([]nv, 0, n)
+			for i := 0; i < n; i++ {
+				if b.mask[i] && probs[i] > 0 {
+					local = append(local, nv{i, probs[i]})
+				}
+			}
+			sort.Slice(local, func(a, c int) bool { return local[a].p > local[c].p })
+			if len(local) > width {
+				local = local[:width]
+			}
+			for _, l := range local {
+				cands = append(cands, cand{parent: b, node: l.node, logp: b.logp + math.Log(l.p)})
+			}
+		}
+		sort.Slice(cands, func(a, c int) bool { return cands[a].logp > cands[c].logp })
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+		next := make([]*beam, 0, len(cands))
+		for _, c := range cands {
+			nb := &beam{
+				decH: append([]float64(nil), c.parent.decH...),
+				decC: append([]float64(nil), c.parent.decC...),
+				mask: append([]bool(nil), c.parent.mask...),
+				seq:  append(append([]int(nil), c.parent.seq...), c.node),
+				logp: c.logp,
+				d:    append([]float64(nil), emb[c.node]...),
+			}
+			nb.mask[c.node] = false
+			next = append(next, nb)
+		}
+		beams = next
+	}
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if b.logp > best.logp {
+			best = b
+		}
+	}
+	return best.seq
+}
+
+// ScoreSeq returns the forward-only log-probability of emitting seq — the
+// deployment-time counterpart of DecodeForced, without a tape.
+func (m *Model) ScoreSeq(emb [][]float64, seq []int) float64 {
+	n := len(emb)
+	h := m.Cfg.Hidden
+	f := newFwd(m)
+
+	encH := make([]float64, h)
+	encC := make([]float64, h)
+	contexts := make([]float64, n*h)
+	for i := 0; i < n; i++ {
+		f.lstmStep(m.Enc, emb[i], encH, encC)
+		copy(contexts[i*h:(i+1)*h], encH)
+	}
+	w1g := f.matMulNM(contexts, n, m.Glimpse.W1)
+	w1p := f.matMulNM(contexts, n, m.Pointer.W1)
+
+	decH := append([]float64(nil), encH...)
+	decC := append([]float64(nil), encC...)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	d := append([]float64(nil), m.Dec0.Data...)
+	probs := make([]float64, n)
+	g := make([]float64, h)
+	logp := 0.0
+	for step := 0; step < n; step++ {
+		f.lstmStep(m.Dec, d, decH, decC)
+		f.attScores(m.Glimpse, w1g, decH, probs, n)
+		softmaxMasked(probs, mask)
+		for j := 0; j < h; j++ {
+			g[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if probs[i] == 0 {
+				continue
+			}
+			row := contexts[i*h : (i+1)*h]
+			pv := probs[i]
+			for j := 0; j < h; j++ {
+				g[j] += pv * row[j]
+			}
+		}
+		f.attScores(m.Pointer, w1p, g, probs, n)
+		softmaxMasked(probs, mask)
+		v := seq[step]
+		p := probs[v]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		logp += math.Log(p)
+		mask[v] = false
+		d = append(d[:0], emb[v]...)
+	}
+	return logp
+}

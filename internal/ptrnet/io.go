@@ -1,0 +1,68 @@
+package ptrnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire format for a serialized model.
+type snapshot struct {
+	Cfg     Config
+	Weights [][]float64
+	Shapes  [][2]int
+}
+
+// Write serializes the model weights.
+func (m *Model) Write(w io.Writer) error {
+	snap := snapshot{Cfg: m.Cfg}
+	for _, p := range m.Params() {
+		snap.Weights = append(snap.Weights, append([]float64(nil), p.Data...))
+		snap.Shapes = append(snap.Shapes, [2]int{p.Rows, p.Cols})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadFrom deserializes a model previously written with Write.
+func ReadFrom(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ptrnet: decode: %w", err)
+	}
+	m := New(snap.Cfg)
+	ps := m.Params()
+	if len(ps) != len(snap.Weights) {
+		return nil, fmt.Errorf("ptrnet: snapshot has %d tensors, model has %d", len(snap.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if snap.Shapes[i] != [2]int{p.Rows, p.Cols} {
+			return nil, fmt.Errorf("ptrnet: tensor %d shape %v, want %dx%d", i, snap.Shapes[i], p.Rows, p.Cols)
+		}
+		copy(p.Data, snap.Weights[i])
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

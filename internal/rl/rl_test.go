@@ -1,0 +1,293 @@
+package rl
+
+import (
+	"testing"
+
+	"respect/internal/embed"
+	"respect/internal/models"
+	"respect/internal/synth"
+)
+
+// smallCfg trains in well under a second.
+func smallCfg(seed int64) Config {
+	return Config{
+		Hidden: 16, NumNodes: 12, Degrees: []int{2, 3}, Stages: 3,
+		Iterations: 30, BatchSize: 8, LR: 2e-3, Seed: seed,
+	}
+}
+
+func TestTrainerImproves(t *testing.T) {
+	tr, err := NewTrainer(Config{
+		Hidden: 32, NumNodes: 16, Degrees: []int{2, 3}, Stages: 3,
+		Iterations: 80, BatchSize: 12, LR: 2e-3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.EvalGreedy(tr.Model)
+	if err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.EvalGreedy(tr.Model)
+	t.Logf("greedy reward %.3f -> %.3f", before, after)
+	if after < before+0.1 {
+		t.Fatalf("no learning: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestSupervisedImproves(t *testing.T) {
+	cfg := smallCfg(2)
+	cfg.Supervised = true
+	cfg.Iterations = 60
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.EvalGreedy(tr.Model)
+	if err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.EvalGreedy(tr.Model)
+	t.Logf("supervised greedy reward %.3f -> %.3f", before, after)
+	if after < before {
+		t.Fatalf("teacher forcing regressed: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestBaselineVariants(t *testing.T) {
+	for _, b := range []BaselineKind{BaselineRollout, BaselineEMA, BaselineNone} {
+		cfg := smallCfg(3)
+		cfg.Baseline = b
+		cfg.Iterations = 10
+		tr, err := NewTrainer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Train(nil); err != nil {
+			t.Fatalf("baseline %d: %v", b, err)
+		}
+	}
+}
+
+func TestDirectObjectiveReward(t *testing.T) {
+	cfg := smallCfg(4)
+	cfg.Reward = RewardDirectObjective
+	cfg.Iterations = 10
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The direct reward must be in (0, 1].
+	s, _ := synth.NewSampler(synth.DefaultConfig(2), 5)
+	g := s.Sample()
+	_, truth := GroundTruth(g, tr.Cfg.Stages)
+	r := tr.Reward(g, tr.Model.Infer(embed.Graph(g, tr.EmbedCfg)), truth)
+	if r <= 0 || r > 1 {
+		t.Fatalf("direct reward %v out of range", r)
+	}
+}
+
+func TestStagesValidation(t *testing.T) {
+	if _, err := NewTrainer(Config{Stages: 1}); err == nil {
+		t.Fatal("1-stage training accepted")
+	}
+}
+
+func TestGroundTruthIsLinearExtension(t *testing.T) {
+	s, _ := synth.NewSampler(synth.DefaultConfig(4), 6)
+	for i := 0; i < 10; i++ {
+		g := s.Sample()
+		gamma, truth := GroundTruth(g, 4)
+		pos := make([]int, g.NumNodes())
+		for i, v := range gamma {
+			pos[v] = i
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.Succ(u) {
+				if pos[u] >= pos[v] {
+					t.Fatal("gamma violates dependencies")
+				}
+			}
+		}
+		if err := truth.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRewardPerfectImitation(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := synth.NewSampler(synth.DefaultConfig(2), 8)
+	g := s.Sample()
+	gamma, truth := GroundTruth(g, tr.Cfg.Stages)
+	if r := tr.Reward(g, gamma, truth); r != 1 {
+		t.Fatalf("reward of γ itself = %v, want 1", r)
+	}
+}
+
+func TestRewardInvalidSequenceZero(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := synth.NewSampler(synth.DefaultConfig(2), 9)
+	g := s.Sample()
+	_, truth := GroundTruth(g, tr.Cfg.Stages)
+	bad := make([]int, g.NumNodes()) // all zeros: repeated nodes
+	if r := tr.Reward(g, bad, truth); r != 0 {
+		t.Fatalf("reward of invalid sequence = %v", r)
+	}
+}
+
+func TestScheduleDeploymentPath(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Xception", "ResNet50"} {
+		g := models.MustLoad(name)
+		for _, ns := range []int{4, 6} {
+			s, err := Schedule(tr.Model, tr.EmbedCfg, g, ns)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, ns, err)
+			}
+			if err := s.Validate(g); err != nil {
+				t.Fatalf("%s/%d: %v", name, ns, err)
+			}
+			if !s.SameStageChildrenOK(g) {
+				t.Fatalf("%s/%d: children constraint violated", name, ns)
+			}
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	run := func() float64 {
+		cfg := smallCfg(42)
+		cfg.Iterations = 10
+		tr, err := NewTrainer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Train(nil); err != nil {
+			t.Fatal(err)
+		}
+		return tr.EvalGreedy(tr.Model)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different outcomes: %v vs %v", a, b)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Step(0)
+	if st.MeanReward < 0 || st.MeanReward > 1 {
+		t.Fatalf("reward %v", st.MeanReward)
+	}
+	if st.GradNorm < 0 {
+		t.Fatalf("grad norm %v", st.GradNorm)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Hidden == 0 || c.NumNodes == 0 || len(c.Degrees) == 0 || c.Stages == 0 ||
+		c.Iterations == 0 || c.BatchSize == 0 || c.LR == 0 || c.ChallengeEvery == 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+}
+
+func TestScheduleSampledNeverWorseThanGreedy(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := models.MustLoad("Xception")
+	greedy, err := Schedule(tr.Model, tr.EmbedCfg, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := ScheduleSampled(tr.Model, tr.EmbedCfg, g, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, sc := greedy.Evaluate(g), sampled.Evaluate(g)
+	if gc.Less(sc) {
+		t.Fatalf("sampling made things worse: greedy %v, sampled %v", gc, sc)
+	}
+	if err := sampled.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.SameStageChildrenOK(g) {
+		t.Fatal("sampled schedule not hardware-ready")
+	}
+}
+
+func TestScheduleBeamValid(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := models.MustLoad("Xception")
+	s, err := ScheduleBeam(tr.Model, tr.EmbedCfg, g, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SameStageChildrenOK(g) {
+		t.Fatal("beam schedule not hardware-ready")
+	}
+}
+
+func TestGreedyRhoAblationTrains(t *testing.T) {
+	cfg := smallCfg(40)
+	cfg.GreedyRho = true
+	cfg.Iterations = 8
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy-rho rewards must stay in [0, 1].
+	if r := tr.EvalGreedy(tr.Model); r < 0 || r > 1 {
+		t.Fatalf("reward %v", r)
+	}
+}
+
+func TestScheduleSampledDeterministic(t *testing.T) {
+	tr, err := NewTrainer(smallCfg(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := models.MustLoad("Xception")
+	a, err := ScheduleSampled(tr.Model, tr.EmbedCfg, g, 4, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleSampled(tr.Model, tr.EmbedCfg, g, 4, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Stage {
+		if a.Stage[i] != b.Stage[i] {
+			t.Fatal("same seed, different sampled schedule")
+		}
+	}
+}

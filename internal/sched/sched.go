@@ -1,0 +1,601 @@
+// Package sched defines the pipeline-scheduling problem RESPECT solves:
+// schedule types, validity constraints, the memory/communication objective,
+// the ρ mapping from emitted node sequences to stage assignments (Eq. 2 of
+// the paper), and the deterministic post-inference repair applied before
+// hardware deployment (§III, "Post-Inference Processing").
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"respect/internal/graph"
+)
+
+// Schedule assigns every node of a graph to one of NumStages pipeline
+// stages. Stage k executes on Edge TPU k; activations flowing to a later
+// stage cross the USB fabric.
+type Schedule struct {
+	// NumStages is the pipeline length n (the paper evaluates 4, 5, 6).
+	NumStages int
+	// Stage[v] is the stage of node v, in [0, NumStages).
+	Stage []int
+}
+
+// NewSchedule returns an all-zero schedule for numNodes nodes.
+func NewSchedule(numNodes, numStages int) Schedule {
+	return Schedule{NumStages: numStages, Stage: make([]int, numNodes)}
+}
+
+// Clone returns a deep copy.
+func (s Schedule) Clone() Schedule {
+	c := Schedule{NumStages: s.NumStages, Stage: make([]int, len(s.Stage))}
+	copy(c.Stage, s.Stage)
+	return c
+}
+
+// Validate checks structural validity: stage bounds and pipeline
+// monotonicity (stage(u) <= stage(v) for every edge u->v). A nil error
+// means the schedule is deployable after the children-same-stage repair.
+func (s Schedule) Validate(g *graph.Graph) error {
+	if len(s.Stage) != g.NumNodes() {
+		return fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.Stage), g.NumNodes())
+	}
+	for v, st := range s.Stage {
+		if st < 0 || st >= s.NumStages {
+			return fmt.Errorf("sched: node %d assigned to stage %d outside [0,%d)", v, st, s.NumStages)
+		}
+		for _, w := range g.Succ(v) {
+			if s.Stage[w] < st {
+				return fmt.Errorf("sched: dependency violation on edge (%d,%d): stages %d > %d", v, w, st, s.Stage[w])
+			}
+		}
+	}
+	return nil
+}
+
+// SameStageChildrenOK reports whether every node's children share a stage —
+// the Edge TPU hardware constraint enforced by post-inference processing.
+func (s Schedule) SameStageChildrenOK(g *graph.Graph) bool {
+	for v := 0; v < g.NumNodes(); v++ {
+		succ := g.Succ(v)
+		for i := 1; i < len(succ); i++ {
+			if s.Stage[succ[i]] != s.Stage[succ[0]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Cost is the scheduling objective, compared lexicographically:
+// peak per-stage parameter memory first (parameter-cache pressure), then
+// cross-stage activation traffic (USB communication).
+type Cost struct {
+	// PeakParamBytes is max over stages of the summed parameter bytes.
+	PeakParamBytes int64
+	// CrossBytes is the total activation bytes crossing stage boundaries.
+	CrossBytes int64
+}
+
+// Less reports whether c is strictly better than o.
+func (c Cost) Less(o Cost) bool {
+	if c.PeakParamBytes != o.PeakParamBytes {
+		return c.PeakParamBytes < o.PeakParamBytes
+	}
+	return c.CrossBytes < o.CrossBytes
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("peak=%.3fMiB cross=%.3fMiB",
+		float64(c.PeakParamBytes)/(1<<20), float64(c.CrossBytes)/(1<<20))
+}
+
+// StageParamBytes returns the summed parameter bytes per stage.
+func (s Schedule) StageParamBytes(g *graph.Graph) []int64 {
+	mem := make([]int64, s.NumStages)
+	for v, st := range s.Stage {
+		mem[st] += g.Node(v).ParamBytes
+	}
+	return mem
+}
+
+// Evaluate computes the objective of the schedule on g.
+func (s Schedule) Evaluate(g *graph.Graph) Cost {
+	var c Cost
+	for _, m := range s.StageParamBytes(g) {
+		if m > c.PeakParamBytes {
+			c.PeakParamBytes = m
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		crossed := false
+		for _, w := range g.Succ(v) {
+			if s.Stage[w] != s.Stage[v] {
+				crossed = true
+				break
+			}
+		}
+		if crossed {
+			// The producing stage sends v's output tensor once over USB,
+			// regardless of how many downstream stages consume it (the
+			// host fans it out).
+			c.CrossBytes += g.Node(v).OutBytes
+		}
+	}
+	return c
+}
+
+// SequenceToSchedule is the paper's ρ: map an emitted node order π to a
+// stage assignment for an n-stage pipeline. The walk opens stages greedily
+// against the balanced parameter budget B = ceil(total/n); the final stage
+// absorbs the remainder. No dependency knowledge is used here — repairs
+// happen in PostProcess, mirroring the paper's split between the RL policy
+// and the deterministic deployment pass.
+func SequenceToSchedule(g *graph.Graph, seq []int, numStages int) (Schedule, error) {
+	n := g.NumNodes()
+	if len(seq) != n {
+		return Schedule{}, fmt.Errorf("sched: sequence length %d, graph has %d nodes", len(seq), n)
+	}
+	if numStages < 1 {
+		return Schedule{}, fmt.Errorf("sched: numStages = %d", numStages)
+	}
+	seen := make([]bool, n)
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			return Schedule{}, fmt.Errorf("sched: sequence element %d out of range", v)
+		}
+		if seen[v] {
+			return Schedule{}, fmt.Errorf("sched: node %d repeated in sequence", v)
+		}
+		seen[v] = true
+	}
+
+	total := g.TotalParamBytes()
+	budget := (total + int64(numStages) - 1) / int64(numStages)
+	if budget < 1 {
+		budget = 1
+	}
+	s := NewSchedule(n, numStages)
+	stage, acc := 0, int64(0)
+	for _, v := range seq {
+		p := g.Node(v).ParamBytes
+		if acc > 0 && acc+p > budget && stage < numStages-1 {
+			stage++
+			acc = 0
+		}
+		s.Stage[v] = stage
+		acc += p
+	}
+	return s, nil
+}
+
+// SequenceToScheduleDP is the stronger realization of ρ used by default
+// at deployment: instead of the greedy budget walk it computes the
+// minimum-peak-memory segmentation of the emitted order into numStages
+// contiguous segments by dynamic programming (O(|V|²·numStages)). The
+// paper leaves ρ abstract ("the scheduling algorithm w.r.t. the specific
+// Edge TPU"); the DP keeps ρ deterministic and polynomial while letting
+// the learned node order express schedule quality fully. The greedy
+// budget walk remains available (SequenceToSchedule) as an ablation.
+func SequenceToScheduleDP(g *graph.Graph, seq []int, numStages int) (Schedule, error) {
+	// Validate via the shared path, then resegment optimally.
+	if _, err := SequenceToSchedule(g, seq, numStages); err != nil {
+		return Schedule{}, err
+	}
+	return dpSegment(g, seq, numStages), nil
+}
+
+// dpSegment optimally cuts order into numStages contiguous segments
+// minimizing the peak segment parameter load.
+func dpSegment(g *graph.Graph, order []int, numStages int) Schedule {
+	n := len(order)
+	prefix := make([]int64, n+1)
+	for i, v := range order {
+		prefix[i+1] = prefix[i] + g.Node(v).ParamBytes
+	}
+	const inf = int64(1) << 62
+	dp := make([][]int64, numStages+1)
+	cut := make([][]int, numStages+1)
+	for k := range dp {
+		dp[k] = make([]int64, n+1)
+		cut[k] = make([]int, n+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= numStages; k++ {
+		for i := 0; i <= n; i++ {
+			if dp[k-1][i] == inf {
+				continue
+			}
+			for j := i; j <= n; j++ {
+				peak := dp[k-1][i]
+				if sm := prefix[j] - prefix[i]; sm > peak {
+					peak = sm
+				}
+				if peak < dp[k][j] {
+					dp[k][j] = peak
+					cut[k][j] = i
+				}
+			}
+		}
+	}
+	s := NewSchedule(g.NumNodes(), numStages)
+	j := n
+	for k := numStages; k >= 1; k-- {
+		i := cut[k][j]
+		for t := i; t < j; t++ {
+			s.Stage[order[t]] = k - 1
+		}
+		j = i
+	}
+	return s
+}
+
+// ScheduleToSequence is the inverse direction used to derive the ground
+// truth γ: read the schedule out stage by stage, nodes within a stage in
+// topological order. The result is always a valid linear extension when the
+// schedule satisfies monotonicity.
+func ScheduleToSequence(g *graph.Graph, s Schedule) []int {
+	type key struct{ stage, pos int }
+	pos := make([]int, g.NumNodes())
+	for i, v := range g.Topo() {
+		pos[v] = i
+	}
+	seq := make([]int, g.NumNodes())
+	for i := range seq {
+		seq[i] = i
+	}
+	sort.Slice(seq, func(a, b int) bool {
+		ka := key{s.Stage[seq[a]], pos[seq[a]]}
+		kb := key{s.Stage[seq[b]], pos[seq[b]]}
+		if ka.stage != kb.stage {
+			return ka.stage < kb.stage
+		}
+		return ka.pos < kb.pos
+	})
+	return seq
+}
+
+// PostProcess is the paper's deterministic post-inference repair, made
+// provably terminating. Two hardware rules are enforced with minimal
+// change to the predicted stages:
+//
+//  1. dependency violations are corrected "by simply pushing the involved
+//     node forward" (to a stage no earlier than every parent), and
+//  2. all children of any node must share a pipeline stage, unified onto
+//     "the earliest predicted stage" among them.
+//
+// Rule 2 induces must-be-equal classes over nodes (children of a common
+// parent, closed transitively via union-find). Monotonicity constraints
+// between classes may then force further equalities — those appear as
+// cycles in the class-level constraint graph and are merged by SCC
+// condensation. The resulting class DAG is assigned stages in topological
+// order: each class takes max(its earliest predicted stage, stages of all
+// predecessor classes). The output always satisfies Validate and
+// SameStageChildrenOK.
+func PostProcess(g *graph.Graph, s Schedule) Schedule {
+	n := g.NumNodes()
+	uf := newUnionFind(n)
+	for v := 0; v < n; v++ {
+		succ := g.Succ(v)
+		for i := 1; i < len(succ); i++ {
+			uf.union(succ[0], succ[i])
+		}
+	}
+
+	// Class-level constraint edges from node-level edges.
+	classOf := make([]int, n)
+	classes := map[int]int{} // root -> dense class index
+	for v := 0; v < n; v++ {
+		r := uf.find(v)
+		if _, ok := classes[r]; !ok {
+			classes[r] = len(classes)
+		}
+		classOf[v] = classes[r]
+	}
+	nc := len(classes)
+	adj := make([][]int, nc)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Succ(u) {
+			cu, cv := classOf[u], classOf[v]
+			if cu != cv {
+				adj[cu] = append(adj[cu], cv)
+			}
+		}
+	}
+
+	// SCC condensation merges classes forced equal by A<=B<=A chains.
+	comp := tarjanSCC(adj)
+	ncc := 0
+	for _, c := range comp {
+		if c+1 > ncc {
+			ncc = c + 1
+		}
+	}
+	cadj := make([][]int, ncc)
+	indeg := make([]int, ncc)
+	seen := map[[2]int]bool{}
+	for u := 0; u < nc; u++ {
+		for _, v := range adj[u] {
+			a, b := comp[u], comp[v]
+			if a != b && !seen[[2]int{a, b}] {
+				seen[[2]int{a, b}] = true
+				cadj[a] = append(cadj[a], b)
+				indeg[b]++
+			}
+		}
+	}
+
+	// Earliest predicted stage per condensed class (the paper's rule 2).
+	floor := make([]int, ncc)
+	for i := range floor {
+		floor[i] = s.NumStages // sentinel: min over members below
+	}
+	for v := 0; v < n; v++ {
+		c := comp[classOf[v]]
+		st := s.Stage[v]
+		if st < 0 {
+			st = 0
+		}
+		if st >= s.NumStages {
+			st = s.NumStages - 1
+		}
+		if st < floor[c] {
+			floor[c] = st
+		}
+	}
+
+	// Kahn order over condensed classes; push forward past predecessors.
+	stage := make([]int, ncc)
+	queue := make([]int, 0, ncc)
+	for c := 0; c < ncc; c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+			stage[c] = floor[c]
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, d := range cadj[c] {
+			if stage[c] > floor[d] {
+				floor[d] = stage[c]
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				stage[d] = floor[d]
+				queue = append(queue, d)
+			}
+		}
+	}
+
+	out := NewSchedule(n, s.NumStages)
+	for v := 0; v < n; v++ {
+		out.Stage[v] = stage[comp[classOf[v]]]
+	}
+	return out
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// tarjanSCC returns, for each vertex, its strongly-connected-component
+// index; indices are a reverse topological order of the condensation, so
+// callers re-derive edges rather than relying on index order. Iterative to
+// stay safe on deep graphs.
+func tarjanSCC(adj [][]int) []int {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	ncomp := 0
+
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// OneHot returns the |V| x n one-hot stage matrix flattened row-major; the
+// cosine similarity of two such encodings is the paper's reward (Eq. 3).
+func (s Schedule) OneHot() []float64 {
+	out := make([]float64, len(s.Stage)*s.NumStages)
+	for v, st := range s.Stage {
+		out[v*s.NumStages+st] = 1
+	}
+	return out
+}
+
+// Agreement returns the fraction of nodes assigned to the same stage in
+// both schedules; for one-hot encodings this equals cosine similarity.
+func Agreement(a, b Schedule) float64 {
+	if len(a.Stage) != len(b.Stage) || len(a.Stage) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range a.Stage {
+		if a.Stage[i] == b.Stage[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a.Stage))
+}
+
+// RepairSequence is the sequence-level half of post-inference processing:
+// dependency violations in the emitted order are corrected "by simply
+// pushing the involved node forward" — each node is deferred until all of
+// its parents have been emitted, and deferred nodes re-enter in emitted-
+// priority order. The result is the linear extension closest to the
+// emitted order under that rule (a priority topological sort keyed by
+// emitted position), leaving only the children-same-stage rule for
+// PostProcess.
+func RepairSequence(g *graph.Graph, seq []int) ([]int, error) {
+	n := g.NumNodes()
+	if len(seq) != n {
+		return nil, fmt.Errorf("sched: sequence length %d, graph has %d nodes", len(seq), n)
+	}
+	prio := make([]int, n)
+	seen := make([]bool, n)
+	for i, v := range seq {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("sched: sequence element %d out of range", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("sched: node %d repeated in sequence", v)
+		}
+		seen[v] = true
+		prio[v] = i
+	}
+
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.Pred(v))
+	}
+	// Min-heap of ready nodes keyed by emitted priority.
+	heap := make([]int, 0, n)
+	less := func(a, b int) bool { return prio[heap[a]] < prio[heap[b]] }
+	push := func(v int) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(i, p) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(l, m) {
+				m = l
+			}
+			if r < len(heap) && less(r, m) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			push(v)
+		}
+	}
+	out := make([]int, 0, n)
+	for len(heap) > 0 {
+		v := pop()
+		out = append(out, v)
+		for _, w := range g.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("sched: graph has a cycle")
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+// Package synth implements the synthetic DAG sampler used to train RESPECT.
+//
+// Per the paper (§III-B, "Synthetic training dataset"), the RL agent is
+// trained exclusively on randomly generated graphs with |V| = 30 whose
+// complexity is controlled through the maximum in-degree deg(V) ∈ {2..6},
+// with memory attributes chosen to mimic DNN computational graphs. The
+// sampler here gives full control over both knobs and is deterministic for
+// a given seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"respect/internal/graph"
+)
+
+// Config controls the sampler.
+type Config struct {
+	// NumNodes is |V| of every sampled graph. The paper trains at 30.
+	NumNodes int
+	// MaxDegree is deg(V): the maximum number of incoming edges a node may
+	// receive. The paper sweeps {2,3,4,5,6}.
+	MaxDegree int
+	// MeanParamKB is the mean per-node parameter footprint in KiB; node
+	// footprints are drawn log-normally around it, mimicking the heavy
+	// tail of conv-layer weights.
+	MeanParamKB float64
+	// ActivationKB is the mean per-edge activation size in KiB.
+	ActivationKB float64
+}
+
+// DefaultConfig returns the paper's training configuration for a given
+// degree bound.
+func DefaultConfig(maxDegree int) Config {
+	return Config{
+		NumNodes:     30,
+		MaxDegree:    maxDegree,
+		MeanParamKB:  64,
+		ActivationKB: 32,
+	}
+}
+
+// Sampler draws random DAGs. It is not safe for concurrent use; create one
+// per goroutine.
+type Sampler struct {
+	cfg Config
+	rng *rand.Rand
+	n   int // count of graphs sampled, used for naming
+}
+
+// NewSampler validates cfg and returns a deterministic sampler seeded with
+// seed.
+func NewSampler(cfg Config, seed int64) (*Sampler, error) {
+	if cfg.NumNodes < 2 {
+		return nil, fmt.Errorf("synth: NumNodes = %d, need >= 2", cfg.NumNodes)
+	}
+	if cfg.MaxDegree < 1 {
+		return nil, fmt.Errorf("synth: MaxDegree = %d, need >= 1", cfg.MaxDegree)
+	}
+	if cfg.MeanParamKB <= 0 || cfg.ActivationKB <= 0 {
+		return nil, fmt.Errorf("synth: memory attributes must be positive")
+	}
+	return &Sampler{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample draws one random DAG. Every non-source node receives between 1 and
+// MaxDegree incoming edges from earlier nodes (earlier in a random
+// permutation), which guarantees acyclicity, connectivity to at least one
+// source, and deg(V) <= MaxDegree. At least one node reaches exactly
+// MaxDegree in-degree when the graph is large enough, so the complexity
+// knob is tight.
+func (s *Sampler) Sample() *graph.Graph {
+	cfg := s.cfg
+	g := graph.New(fmt.Sprintf("synth-%d-deg%d-%d", cfg.NumNodes, cfg.MaxDegree, s.n))
+	s.n++
+
+	for i := 0; i < cfg.NumNodes; i++ {
+		kind := graph.OpConv
+		switch s.rng.Intn(6) {
+		case 0:
+			kind = graph.OpDepthwiseConv
+		case 1:
+			kind = graph.OpAdd
+		case 2:
+			kind = graph.OpRelu
+		}
+		if i == 0 {
+			kind = graph.OpInput
+		}
+		param := int64(0)
+		if kind == graph.OpConv || kind == graph.OpDepthwiseConv {
+			// Log-normal-ish: exponentiate a centered uniform to get the
+			// heavy tail of real conv layers.
+			f := s.rng.NormFloat64()*0.9 + 1
+			if f < 0.05 {
+				f = 0.05
+			}
+			param = int64(cfg.MeanParamKB * 1024 * f)
+		}
+		out := int64(cfg.ActivationKB * 1024 * (0.25 + s.rng.Float64()*1.5))
+		macs := param * 196 // ~14x14 output positions per weight, conv-like
+		g.AddNode(graph.Node{
+			Name: fmt.Sprintf("op%d", i), Kind: kind,
+			ParamBytes: param, OutBytes: out, MACs: macs,
+		})
+	}
+
+	// One designated heavy node gets exactly MaxDegree parents (when
+	// possible) so the sampled deg(V) matches the config tightly.
+	heavy := -1
+	if cfg.NumNodes > cfg.MaxDegree {
+		heavy = cfg.MaxDegree + s.rng.Intn(cfg.NumNodes-cfg.MaxDegree)
+	}
+	for v := 1; v < cfg.NumNodes; v++ {
+		k := 1 + s.rng.Intn(cfg.MaxDegree)
+		if k > v {
+			k = v
+		}
+		if v == heavy && cfg.MaxDegree <= v {
+			k = cfg.MaxDegree
+		}
+		for _, u := range s.rng.Perm(v)[:k] {
+			g.AddEdge(u, v)
+		}
+	}
+	return g.MustBuild()
+}
+
+// SampleBatch draws n graphs.
+func (s *Sampler) SampleBatch(n int) []*graph.Graph {
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = s.Sample()
+	}
+	return out
+}
+
+// CurriculumSampler interleaves samplers across deg(V) ∈ degrees, matching
+// the paper's training set of 200k graphs per degree in {2..6}.
+type CurriculumSampler struct {
+	samplers []*Sampler
+	next     int
+}
+
+// NewCurriculum builds one sampler per degree with distinct sub-seeds.
+func NewCurriculum(numNodes int, degrees []int, seed int64) (*CurriculumSampler, error) {
+	if len(degrees) == 0 {
+		return nil, fmt.Errorf("synth: empty degree list")
+	}
+	cs := &CurriculumSampler{}
+	for i, d := range degrees {
+		cfg := DefaultConfig(d)
+		cfg.NumNodes = numNodes
+		sm, err := NewSampler(cfg, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		cs.samplers = append(cs.samplers, sm)
+	}
+	return cs, nil
+}
+
+// Sample draws from the next degree bucket, round-robin.
+func (cs *CurriculumSampler) Sample() *graph.Graph {
+	g := cs.samplers[cs.next].Sample()
+	cs.next = (cs.next + 1) % len(cs.samplers)
+	return g
+}

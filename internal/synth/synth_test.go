@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if cfg.NumNodes != 30 || cfg.MaxDegree != 4 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{NumNodes: 1, MaxDegree: 2, MeanParamKB: 1, ActivationKB: 1},
+		{NumNodes: 10, MaxDegree: 0, MeanParamKB: 1, ActivationKB: 1},
+		{NumNodes: 10, MaxDegree: 2, MeanParamKB: 0, ActivationKB: 1},
+		{NumNodes: 10, MaxDegree: 2, MeanParamKB: 1, ActivationKB: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewSampler(cfg, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSampleRespectsBounds(t *testing.T) {
+	for _, deg := range []int{2, 3, 4, 5, 6} {
+		s, err := NewSampler(DefaultConfig(deg), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			g := s.Sample()
+			if g.NumNodes() != 30 {
+				t.Fatalf("deg %d: |V| = %d", deg, g.NumNodes())
+			}
+			if g.MaxInDegree() > deg {
+				t.Fatalf("deg %d: in-degree %d exceeds bound", deg, g.MaxInDegree())
+			}
+		}
+	}
+}
+
+func TestSampleHitsDegreeBound(t *testing.T) {
+	// The designated heavy node should make deg(V) == MaxDegree common.
+	for _, deg := range []int{2, 4, 6} {
+		s, err := NewSampler(DefaultConfig(deg), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := 0
+		for i := 0; i < 50; i++ {
+			if s.Sample().MaxInDegree() == deg {
+				hit++
+			}
+		}
+		if hit < 40 {
+			t.Errorf("deg %d: bound hit only %d/50 times", deg, hit)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewSampler(DefaultConfig(3), 99)
+	b, _ := NewSampler(DefaultConfig(3), 99)
+	for i := 0; i < 10; i++ {
+		ga, gb := a.Sample(), b.Sample()
+		if ga.NumEdges() != gb.NumEdges() || ga.Depth() != gb.Depth() {
+			t.Fatal("same seed produced different graphs")
+		}
+		for v := 0; v < ga.NumNodes(); v++ {
+			if ga.Node(v).ParamBytes != gb.Node(v).ParamBytes {
+				t.Fatal("same seed produced different node attributes")
+			}
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, _ := NewSampler(DefaultConfig(3), 1)
+	b, _ := NewSampler(DefaultConfig(3), 2)
+	same := true
+	for i := 0; i < 5 && same; i++ {
+		ga, gb := a.Sample(), b.Sample()
+		if ga.NumEdges() != gb.NumEdges() || ga.Depth() != gb.Depth() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graph streams")
+	}
+}
+
+func TestQuickAllSamplesAcyclicConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := NewSampler(DefaultConfig(2+int(seed%5+5)%5), seed)
+		if err != nil {
+			return false
+		}
+		g := s.Sample()
+		// MustBuild already proved acyclicity; check single-source
+		// reachability style invariant: every non-first node has a parent.
+		for v := 1; v < g.NumNodes(); v++ {
+			if len(g.Pred(v)) == 0 {
+				return false
+			}
+		}
+		return g.Node(0).Kind.String() == "input"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleBatch(t *testing.T) {
+	s, _ := NewSampler(DefaultConfig(2), 5)
+	gs := s.SampleBatch(7)
+	if len(gs) != 7 {
+		t.Fatalf("batch size %d", len(gs))
+	}
+	names := map[string]bool{}
+	for _, g := range gs {
+		names[g.Name] = true
+	}
+	if len(names) != 7 {
+		t.Error("batch graphs share names")
+	}
+}
+
+func TestCurriculumRoundRobin(t *testing.T) {
+	cs, err := NewCurriculum(30, []int{2, 3, 4, 5, 6}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := map[int]int{}
+	for i := 0; i < 50; i++ {
+		g := cs.Sample()
+		if d := g.MaxInDegree(); d > maxDeg[i%5] {
+			maxDeg[i%5] = d
+		}
+	}
+	// Bucket k must never exceed degree bound 2+k.
+	for k := 0; k < 5; k++ {
+		if maxDeg[k] > 2+k {
+			t.Errorf("bucket %d: max degree %d > %d", k, maxDeg[k], 2+k)
+		}
+	}
+	if _, err := NewCurriculum(30, nil, 0); err == nil {
+		t.Error("empty curriculum accepted")
+	}
+}
+
+func TestMemoryAttributesPlausible(t *testing.T) {
+	s, _ := NewSampler(DefaultConfig(2), 3)
+	g := s.Sample()
+	anyParams := false
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(v)
+		if n.ParamBytes < 0 || n.OutBytes <= 0 {
+			t.Fatalf("node %d has bad memory attrs: %+v", v, n)
+		}
+		if n.ParamBytes > 0 {
+			anyParams = true
+			if n.MACs <= 0 {
+				t.Fatalf("node %d has params but no MACs", v)
+			}
+		}
+	}
+	if !anyParams {
+		t.Error("no node carries parameters")
+	}
+}

@@ -1,0 +1,108 @@
+// Package tensor provides the dense float64 matrix type underlying the
+// neural components of RESPECT: storage, initialization and the handful of
+// BLAS-level kernels the autodiff tape dispatches to.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix. Grad, when non-nil, accumulates the
+// gradient of a scalar loss with respect to Data (same layout).
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: bad shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Xavier returns a matrix initialized with scaled uniform noise
+// (Glorot/Xavier), the initialization used for all PtrNet weights.
+func Xavier(rows, cols int, rng *rand.Rand) *Mat {
+	m := New(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// EnsureGrad allocates the gradient buffer if absent.
+func (m *Mat) EnsureGrad() {
+	if m.Grad == nil {
+		m.Grad = make([]float64, len(m.Data))
+	}
+}
+
+// ZeroGrad clears the gradient buffer.
+func (m *Mat) ZeroGrad() {
+	for i := range m.Grad {
+		m.Grad[i] = 0
+	}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone deep-copies the matrix values (not gradients).
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatMulInto computes dst = a·b. Shapes must agree; dst must not alias the
+// inputs.
+func MatMulInto(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// Norm returns the Frobenius norm of Data.
+func (m *Mat) Norm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

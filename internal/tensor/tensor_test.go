@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("Set/At wrong")
+	}
+}
+
+func TestBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMulInto(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	MatMulInto(c, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("c[%d] = %v", i, c.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestXavierBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Xavier(10, 10, rng)
+	scale := math.Sqrt(6.0 / 20)
+	for _, v := range m.Data {
+		if v < -scale || v > scale {
+			t.Fatalf("xavier value %v outside ±%v", v, scale)
+		}
+	}
+	if m.Norm() == 0 {
+		t.Fatal("xavier produced all zeros")
+	}
+}
+
+func TestGradLifecycle(t *testing.T) {
+	m := New(2, 2)
+	if m.Grad != nil {
+		t.Fatal("grad allocated eagerly")
+	}
+	m.EnsureGrad()
+	m.Grad[3] = 7
+	m.ZeroGrad()
+	if m.Grad[3] != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 9
+	if m.Data[0] != 1 {
+		t.Fatal("clone aliases")
+	}
+}

@@ -1,0 +1,225 @@
+// Package respect is the public API of the RESPECT reproduction: a
+// reinforcement-learning scheduler for DNN computational graphs on
+// pipelined Coral Edge TPUs (Yin et al., DAC 2023), together with every
+// substrate the paper's evaluation depends on — a model zoo with the
+// twelve ImageNet computational graphs, a synthetic-DAG training sampler,
+// exact (branch-and-bound and ILP) and heuristic baselines, an Edge TPU
+// pipeline simulator, and a deployment flow (quantization, sub-model
+// images).
+//
+// Quick start:
+//
+//	g, _ := respect.LoadModel("ResNet152")
+//	agent, _ := respect.Train(respect.TrainConfig{Iterations: 300})
+//	s, _ := agent.Schedule(g, 6)
+//	rep, _ := respect.Simulate(g, s, respect.CoralHW())
+//	fmt.Println(rep.Throughput(), "inferences/s")
+//
+// The internal packages remain importable within this module for
+// fine-grained control; this package re-exports the surface a downstream
+// scheduler user needs.
+package respect
+
+import (
+	"fmt"
+	"time"
+
+	"respect/internal/compiler"
+	"respect/internal/embed"
+	"respect/internal/exact"
+	"respect/internal/graph"
+	"respect/internal/heur"
+	"respect/internal/models"
+	"respect/internal/pipeline"
+	"respect/internal/ptrnet"
+	"respect/internal/rl"
+	"respect/internal/sched"
+	"respect/internal/synth"
+	"respect/internal/tpu"
+)
+
+// Core graph and scheduling types.
+type (
+	// Graph is a DNN computational DAG.
+	Graph = graph.Graph
+	// Node is one operator in a Graph.
+	Node = graph.Node
+	// Stats is the (|V|, deg, depth) triple of Table I.
+	Stats = graph.Stats
+	// Schedule assigns nodes to pipeline stages.
+	Schedule = sched.Schedule
+	// Cost is the (peak parameter memory, cross-stage traffic) objective.
+	Cost = sched.Cost
+	// HW describes the Edge TPU pipeline platform.
+	HW = tpu.HW
+	// SimReport is a pipeline simulation outcome.
+	SimReport = tpu.Report
+	// TrainConfig configures RL training (see rl.Config for every knob).
+	TrainConfig = rl.Config
+)
+
+// NewGraph returns an empty graph to build with AddNode/AddEdge/Build.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// LoadModel constructs one of the twelve evaluated ImageNet computational
+// graphs by name (e.g. "ResNet152", "InceptionResNetv2").
+func LoadModel(name string) (*Graph, error) { return models.Load(name) }
+
+// ModelNames lists the available model-zoo entries.
+func ModelNames() []string { return models.Names() }
+
+// MergeGraphs builds the disjoint union of several computational graphs
+// so that co-deployed models can be scheduled jointly onto one pipeline
+// (the paper's multi-model input mode).
+func MergeGraphs(gs ...*Graph) (*Graph, error) { return graph.Merge(gs...) }
+
+// SampleSyntheticGraphs draws n random training-style DAGs (|V| = numNodes,
+// max in-degree maxDegree), as used for RESPECT's data-independent
+// training.
+func SampleSyntheticGraphs(n, numNodes, maxDegree int, seed int64) ([]*Graph, error) {
+	cfg := synth.DefaultConfig(maxDegree)
+	cfg.NumNodes = numNodes
+	s, err := synth.NewSampler(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.SampleBatch(n), nil
+}
+
+// Agent is a trained RESPECT scheduler.
+type Agent struct {
+	model *ptrnet.Model
+	ecfg  embed.Config
+}
+
+// Train trains a RESPECT agent from scratch on synthetic graphs. Zero
+// config fields take scaled-down defaults that train in seconds on a CPU;
+// the paper-scale setup (hidden 256, 1M graphs, batch 128) is reachable by
+// setting the fields explicitly.
+func Train(cfg TrainConfig) (*Agent, error) {
+	tr, err := rl.NewTrainer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Train(nil); err != nil {
+		return nil, err
+	}
+	return &Agent{model: tr.Model, ecfg: tr.EmbedCfg}, nil
+}
+
+// TrainWithProgress is Train with a per-iteration callback
+// (iteration, mean sampled reward).
+func TrainWithProgress(cfg TrainConfig, progress func(iter int, meanReward float64)) (*Agent, error) {
+	tr, err := rl.NewTrainer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	err = tr.Train(func(st rl.IterStats) {
+		if progress != nil {
+			progress(st.Iter, st.MeanReward)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{model: tr.Model, ecfg: tr.EmbedCfg}, nil
+}
+
+// Schedule runs RESPECT inference on g for an n-stage pipeline: embedding,
+// greedy pointer decode, ρ stage mapping and the deterministic
+// post-inference repair. The result is deployment-ready.
+func (a *Agent) Schedule(g *Graph, numStages int) (Schedule, error) {
+	return rl.Schedule(a.model, a.ecfg, g, numStages)
+}
+
+// ScheduleSampled draws samples stochastic decodes besides the greedy one
+// and returns the best schedule by deployed objective — a solve-time /
+// quality knob between greedy inference and exact search.
+func (a *Agent) ScheduleSampled(g *Graph, numStages, samples int, seed int64) (Schedule, error) {
+	return rl.ScheduleSampled(a.model, a.ecfg, g, numStages, samples, seed)
+}
+
+// Save writes the agent's weights to path.
+func (a *Agent) Save(path string) error { return a.model.SaveFile(path) }
+
+// LoadAgent reads an agent previously written with Save.
+func LoadAgent(path string) (*Agent, error) {
+	m, err := ptrnet.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := embed.Default()
+	if m.Cfg.InputDim != ecfg.Dim() {
+		return nil, fmt.Errorf("respect: model input width %d does not match the default embedding (%d)", m.Cfg.InputDim, ecfg.Dim())
+	}
+	return &Agent{model: m, ecfg: ecfg}, nil
+}
+
+// ScheduleExact computes the provably optimal (peak parameter memory)
+// schedule with the branch-and-bound exact solver. optimal reports whether
+// the search completed within timeout.
+func ScheduleExact(g *Graph, numStages int, timeout time.Duration) (s Schedule, cost Cost, optimal bool) {
+	res := exact.Solve(g, numStages, exact.Options{Timeout: timeout, MaxStates: 200_000_000})
+	return res.Schedule, res.Cost, res.Optimal
+}
+
+// ScheduleCompiler returns the Edge TPU compiler baseline's partition
+// (parameter-balanced greedy, hardware-repaired).
+func ScheduleCompiler(g *Graph, numStages int) Schedule {
+	return sched.PostProcess(g, heur.GreedyBalanced(g, numStages))
+}
+
+// CompileFull runs the complete compiler-emulation flow (quantization,
+// partition, tiling, allocation, serialization) and returns its schedule
+// and measured compile time.
+func CompileFull(g *Graph, numStages int) (Schedule, time.Duration, error) {
+	res, err := compiler.Compile(g, numStages, compiler.DefaultOptions())
+	if err != nil {
+		return Schedule{}, 0, err
+	}
+	return res.Schedule, res.CompileTime, nil
+}
+
+// PostProcess applies the paper's deterministic deployment repair
+// (dependency push-forward + children-same-stage unification) to any
+// schedule.
+func PostProcess(g *Graph, s Schedule) Schedule { return sched.PostProcess(g, s) }
+
+// CoralHW returns the default Coral Edge TPU pipeline platform model.
+func CoralHW() HW { return tpu.Coral() }
+
+// Simulate runs the pipelined Edge TPU simulator for one inference
+// stream; the schedule must be deployment-ready (see PostProcess).
+func Simulate(g *Graph, s Schedule, hw HW) (SimReport, error) {
+	return tpu.Simulate(g, s, hw)
+}
+
+// MeasureInference mirrors the paper's protocol (10 rounds × 1000
+// inferences), returning the mean per-inference latency.
+func MeasureInference(g *Graph, s Schedule, hw HW) (time.Duration, error) {
+	return tpu.RunBenchmark(g, s, hw, 10, 1000)
+}
+
+// ExecutionResult is the discrete-event pipeline run outcome (transient
+// behaviour, queue occupancy, stage utilization).
+type ExecutionResult = pipeline.Result
+
+// ExecutePipeline runs n inferences through the deployed pipeline with the
+// event-driven executor (the host runtime of the paper's Figure 2),
+// exposing fill/drain transients and per-stage utilization that the
+// closed-form Simulate cannot.
+func ExecutePipeline(g *Graph, s Schedule, hw HW, n, queueDepth int) (*ExecutionResult, error) {
+	return pipeline.Run(g, s, hw, pipeline.Config{Inferences: n, QueueDepth: queueDepth})
+}
+
+// ScheduleBeam decodes with beam search of the given width and returns
+// the deployed schedule of the most likely emitted order.
+func (a *Agent) ScheduleBeam(g *Graph, numStages, width int) (Schedule, error) {
+	return rl.ScheduleBeam(a.model, a.ecfg, g, numStages, width)
+}
+
+// CoralPCIeHW returns the M.2/PCIe Coral platform variant (faster fabric).
+func CoralPCIeHW() HW { return tpu.CoralPCIe() }
+
+// DevBoardHW returns the Coral Dev Board platform variant.
+func DevBoardHW() HW { return tpu.DevBoard() }
