@@ -8,7 +8,8 @@
 //	-exp fig5      Figure 5 — gap-to-optimal parameter caching
 //	-exp ablation  training-design ablations from DESIGN.md
 //	-exp postproc  post-inference repair study
-//	-exp heur      classic-heuristic quality/latency comparison
+//	-exp heur      backend quality/latency comparison (registry-enumerated)
+//	-exp portfolio concurrent backend-portfolio race (rl vs heur vs exact)
 //	-exp all       everything above
 //
 // A trained agent can be supplied with -agent; otherwise one is trained
@@ -16,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"respect/internal/bench"
@@ -29,6 +32,7 @@ import (
 	"respect/internal/models"
 	"respect/internal/ptrnet"
 	"respect/internal/rl"
+	"respect/internal/solver"
 	"respect/internal/tpu"
 )
 
@@ -37,7 +41,7 @@ func main() {
 	log.SetPrefix("respect-bench: ")
 
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|ablation|postproc|heur|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|ablation|postproc|heur|portfolio|all")
 		agentPath  = flag.String("agent", "", "trained agent weights (otherwise trains in-process)")
 		trainIters = flag.Int("train-iters", 200, "in-process training iterations when -agent is absent")
 		ilpBudget  = flag.Duration("ilp-budget", 0, "per-instance budget for the generic MILP column of fig3 (0 skips it; the paper-faithful setting is 60s+)")
@@ -51,7 +55,7 @@ func main() {
 	var agent *ptrnet.Model
 	ecfg := embed.Default()
 	var trainer *rl.Trainer
-	needAgent := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "postproc": true, "all": true}
+	needAgent := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "postproc": true, "portfolio": true, "all": true}
 	if needAgent[*exp] {
 		if *agentPath != "" {
 			m, err := ptrnet.LoadFile(*agentPath)
@@ -69,6 +73,16 @@ func main() {
 			trainer = tr
 			agent = tr.Model
 			fmt.Printf("held-out greedy imitation reward: %.4f\n", tr.EvalGreedy(tr.Model))
+		}
+	}
+
+	if agent != nil {
+		// Publish the agent's decode modes so registry-driven experiments
+		// (heur study, portfolio) can race them by name.
+		for _, b := range solver.AgentBackends(agent, ecfg) {
+			if err := solver.Replace(b); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -265,6 +279,8 @@ func main() {
 	})
 
 	run("heur", func() error {
+		fmt.Printf("registered backends: %s\n", strings.Join(solver.Names(), ", "))
+		fmt.Printf("study set: %s\n\n", strings.Join(bench.StudyBackends(), ", "))
 		for _, m := range []string{"ResNet152"} {
 			rows, err := bench.HeuristicStudy(m, 6)
 			if err != nil {
@@ -276,8 +292,34 @@ func main() {
 				cells = append(cells, []string{r.Name, fmt.Sprintf("%.3f", r.PeakMiB),
 					fmt.Sprintf("%.3f", r.CrossMiB), r.Elapsed.Round(time.Microsecond).String()})
 			}
-			fmt.Print(bench.RenderTable([]string{"scheduler", "peak MiB", "cross MiB", "solve time"}, cells))
+			fmt.Print(bench.RenderTable([]string{"backend", "peak MiB", "cross MiB", "solve time"}, cells))
 		}
+		return nil
+	})
+
+	run("portfolio", func() error {
+		members := []string{"rl", "heur", "exact"}
+		fmt.Printf("racing %v, %v per instance\n\n", members, 10*time.Second)
+		rows, err := bench.PortfolioStudy(context.Background(), names, nil, members, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		var cells [][]string
+		for _, r := range rows {
+			var outcomes []string
+			for _, o := range r.Outcomes {
+				if o.Err != nil {
+					outcomes = append(outcomes, o.Backend+": err")
+					continue
+				}
+				outcomes = append(outcomes, fmt.Sprintf("%s: %.3f MiB / %v",
+					o.Backend, float64(o.Cost.PeakParamBytes)/(1<<20), o.Elapsed.Round(time.Millisecond)))
+			}
+			cells = append(cells, []string{r.Model, fmt.Sprint(r.Stages), r.Winner,
+				fmt.Sprintf("%.3f", r.PeakMiB), r.Elapsed.Round(time.Millisecond).String(),
+				strings.Join(outcomes, "; ")})
+		}
+		fmt.Print(bench.RenderTable([]string{"model", "stages", "winner", "peak MiB", "race time", "per-backend"}, cells))
 		return nil
 	})
 }

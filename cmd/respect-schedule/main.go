@@ -1,31 +1,36 @@
-// Command respect-schedule schedules a DNN computational graph onto an
-// n-stage Edge TPU pipeline with a chosen scheduler, reports the memory /
-// communication objective, and simulates on-chip inference.
+// Command respect-schedule schedules DNN computational graphs onto an
+// n-stage Edge TPU pipeline with any registered scheduler backend, a
+// portfolio race of several backends, or a parallel batch over many
+// graphs; it reports the memory / communication objective and simulates
+// on-chip inference.
 //
 // Examples:
 //
-//	respect-schedule -model ResNet152 -stages 6 -scheduler exact
-//	respect-schedule -model Xception -stages 4 -scheduler rl -agent respect.gob
-//	respect-schedule -graph my.json -stages 4 -scheduler compiler -dot out.dot
+//	respect-schedule -model ResNet152 -stages 6 -backend exact
+//	respect-schedule -model Xception -stages 4 -backend rl -agent respect.gob
+//	respect-schedule -model ResNet152 -stages 6 -portfolio heur,exact,compiler -timeout 10s
+//	respect-schedule -model ResNet50,Xception,DenseNet121 -stages 4 -backend heur -jobs 4
+//	respect-schedule -list-backends
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
-	"respect/internal/exact"
+	"respect/internal/bench"
+	"respect/internal/embed"
 	"respect/internal/graph"
-	"respect/internal/heur"
 	"respect/internal/models"
 	"respect/internal/ptrnet"
-	"respect/internal/rl"
 	"respect/internal/sched"
+	"respect/internal/solver"
 	"respect/internal/tpu"
-
-	"respect/internal/embed"
 )
 
 func main() {
@@ -33,43 +38,154 @@ func main() {
 	log.SetPrefix("respect-schedule: ")
 
 	var (
-		modelName = flag.String("model", "", "model-zoo graph (one of respect's twelve ImageNet models)")
-		graphPath = flag.String("graph", "", "path to a graph JSON (alternative to -model)")
-		stages    = flag.Int("stages", 4, "pipeline stages")
-		scheduler = flag.String("scheduler", "exact", "rl | exact | exact-ilp-grade | compiler | list | hu | force | dp | anneal")
-		agentPath = flag.String("agent", "", "trained agent weights (required for -scheduler rl)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "exact solver budget")
-		samples   = flag.Int("samples", 0, "extra stochastic decodes for -scheduler rl (best-of-K)")
-		beam      = flag.Int("beam", 0, "beam width for -scheduler rl (overrides greedy decode)")
-		dotPath   = flag.String("dot", "", "write a stage-colored Graphviz rendering here")
-		simulate  = flag.Bool("sim", true, "simulate pipelined inference on the Coral platform model")
+		modelNames = flag.String("model", "", "comma-separated model-zoo graphs (see -list-backends output for models)")
+		graphPath  = flag.String("graph", "", "path to a graph JSON (alternative to -model)")
+		stages     = flag.Int("stages", 4, "pipeline stages")
+		backend    = flag.String("backend", "", "scheduler backend (see -list-backends)")
+		scheduler  = flag.String("scheduler", "", "deprecated alias for -backend")
+		portfolio  = flag.String("portfolio", "", "comma-separated backends to race; the cheapest schedule wins")
+		jobs       = flag.Int("jobs", 1, "parallel workers when scheduling several graphs")
+		agentPath  = flag.String("agent", "", "trained agent weights (enables the rl backends)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "scheduling deadline (context); anytime backends return incumbents")
+		samples    = flag.Int("samples", 16, "stochastic decodes for the rl-sampled backend")
+		beam       = flag.Int("beam", 8, "beam width for the rl-beam backend")
+		dotPath    = flag.String("dot", "", "write a stage-colored Graphviz rendering here (single graph only)")
+		simulate   = flag.Bool("sim", true, "simulate pipelined inference on the Coral platform model")
+		listOnly   = flag.Bool("list-backends", false, "list registered backends and exit")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*modelName, *graphPath)
+	if *agentPath != "" {
+		m, err := ptrnet.LoadFile(*agentPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ecfg := embed.Default()
+		for _, b := range []solver.Scheduler{
+			solver.RL(m, ecfg),
+			solver.RLSampled(m, ecfg, *samples, 1),
+			solver.RLBeam(m, ecfg, *beam),
+		} {
+			if err := solver.Replace(b); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if *listOnly {
+		fmt.Printf("backends: %s\n", strings.Join(solver.Names(), ", "))
+		fmt.Printf("models:   %s\n", strings.Join(models.Names(), ", "))
+		return
+	}
+
+	graphs, err := loadGraphs(*modelNames, *graphPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	name := *backend
+	if name == "" {
+		name = *scheduler
+	}
+	if name == "" && *portfolio == "" {
+		name = "exact"
+	}
+	// Back-compat: "-scheduler rl -beam N" / "-samples K" historically
+	// selected the beam/sampled decoder; map an explicit flag to the
+	// matching rl backend.
+	if name == "rl" {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		switch {
+		case explicit["beam"]:
+			name = "rl-beam"
+		case explicit["samples"]:
+			name = "rl-sampled"
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch {
+	case *portfolio != "" && len(graphs) == 1:
+		runPortfolio(ctx, *timeout, splitNames(*portfolio), graphs[0], *stages, *simulate, *dotPath)
+	case *portfolio != "":
+		members, err := solver.Resolve(splitNames(*portfolio)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runBatch(ctx, solver.PortfolioScheduler("portfolio("+*portfolio+")", solver.PortfolioOptions{}, members...), graphs, *stages, *jobs)
+	case len(graphs) == 1:
+		b := lookupBackend(name)
+		runSingle(ctx, *timeout, b, graphs[0], *stages, *simulate, *dotPath)
+	default:
+		runBatch(ctx, solver.NewCached(lookupBackend(name), 256), graphs, *stages, *jobs)
+	}
+}
+
+func lookupBackend(name string) solver.Scheduler {
+	b, err := solver.Lookup(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+// splitNames splits a comma-separated list, trimming whitespace around
+// each entry.
+func splitNames(list string) []string {
+	parts := strings.Split(list, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func loadGraphs(modelList, path string) ([]*graph.Graph, error) {
+	switch {
+	case modelList != "" && path != "":
+		return nil, fmt.Errorf("use -model or -graph, not both")
+	case modelList != "":
+		var gs []*graph.Graph
+		for _, name := range splitNames(modelList) {
+			g, err := models.Load(name)
+			if err != nil {
+				return nil, err
+			}
+			gs = append(gs, g)
+		}
+		return gs, nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return []*graph.Graph{g}, nil
+	default:
+		return nil, fmt.Errorf("one of -model or -graph is required (models: %v)", models.Names())
+	}
+}
+
+func describe(g *graph.Graph) {
 	st := g.Stats()
 	fmt.Printf("graph %s: |V|=%d deg(V)=%d depth=%d params=%.2f MiB\n",
 		g.Name, st.V, st.Deg, st.Depth, float64(g.TotalParamBytes())/(1<<20))
+}
 
-	start := time.Now()
-	s, note, err := run(*scheduler, g, *stages, *agentPath, *timeout, *samples, *beam)
-	if err != nil {
-		log.Fatal(err)
-	}
-	solve := time.Since(start)
-
-	s = sched.PostProcess(g, s)
+func report(g *graph.Graph, s sched.Schedule, label string, solve time.Duration, simulate bool, dotPath string) {
 	cost := s.Evaluate(g)
-	fmt.Printf("scheduler %s%s: solve time %v\n", *scheduler, note, solve)
+	fmt.Printf("scheduler %s: solve time %v\n", label, solve)
 	fmt.Printf("objective: %v\n", cost)
 	for k, m := range s.StageParamBytes(g) {
 		fmt.Printf("  stage %d: %8.3f MiB params\n", k, float64(m)/(1<<20))
 	}
-
-	if *simulate {
+	if simulate {
 		rep, err := tpu.Simulate(g, s, tpu.Coral())
 		if err != nil {
 			log.Fatal(err)
@@ -77,80 +193,111 @@ func main() {
 		fmt.Printf("simulated pipeline: bottleneck %v, fill latency %v, %.1f inf/s, %.3f mJ/inf\n",
 			rep.Bottleneck, rep.Latency, rep.Throughput(), rep.EnergyPerInference*1e3)
 	}
-
-	if *dotPath != "" {
-		if err := os.WriteFile(*dotPath, []byte(g.DOT(s.Stage)), 0o644); err != nil {
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(g.DOT(s.Stage)), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *dotPath)
+		fmt.Printf("wrote %s\n", dotPath)
 	}
 }
 
-func loadGraph(model, path string) (*graph.Graph, error) {
+// deadlineHit reports whether the solve was cut short by the -timeout
+// budget. It checks elapsed time besides ctx.Err() because a solver that
+// observes its deadline returns concurrently with (and sometimes slightly
+// before) the context timer firing.
+func deadlineHit(ctx context.Context, budget, elapsed time.Duration) bool {
+	return ctx.Err() != nil || elapsed >= budget
+}
+
+func runSingle(ctx context.Context, budget time.Duration, b solver.Scheduler, g *graph.Graph, stages int, simulate bool, dotPath string) {
+	describe(g)
+	start := time.Now()
+	s, info, err := solver.ScheduleInfo(ctx, b, g, stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := b.Name()
 	switch {
-	case model != "" && path != "":
-		return nil, fmt.Errorf("use -model or -graph, not both")
-	case model != "":
-		return models.Load(model)
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadJSON(f)
-	default:
-		return nil, fmt.Errorf("one of -model or -graph is required (models: %v)", models.Names())
+	case info.Truncated:
+		// Budget hit (deadline or state cap): the backend handed back an
+		// incumbent with no optimality proof.
+		label += " (budget hit; incumbent, not proven optimal)"
+	case info.OptimalityProven:
+		label += " (proven optimal peak)"
 	}
+	report(g, s, label, time.Since(start), simulate, dotPath)
 }
 
-func run(name string, g *graph.Graph, stages int, agentPath string, timeout time.Duration, samples, beam int) (sched.Schedule, string, error) {
-	switch name {
-	case "rl":
-		if agentPath == "" {
-			return sched.Schedule{}, "", fmt.Errorf("-scheduler rl needs -agent (train one with respect-train)")
+func runPortfolio(ctx context.Context, budget time.Duration, names []string, g *graph.Graph, stages int, simulate bool, dotPath string) {
+	describe(g)
+	backends, err := solver.Resolve(names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := solver.Portfolio(ctx, backends, g, stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var cells [][]string
+	for _, o := range res.Outcomes {
+		status := o.Cost.String()
+		if o.Err != nil {
+			status = "error: " + o.Err.Error()
 		}
-		m, err := ptrnet.LoadFile(agentPath)
-		if err != nil {
-			return sched.Schedule{}, "", err
+		mark := ""
+		if o.Winner {
+			mark = "*"
 		}
-		if beam > 1 {
-			s, err := rl.ScheduleBeam(m, embed.Default(), g, stages, beam)
-			return s, fmt.Sprintf(" (beam width %d)", beam), err
+		cells = append(cells, []string{mark, o.Backend, status, o.Elapsed.Round(time.Microsecond).String()})
+	}
+	fmt.Print(bench.RenderTable([]string{"", "backend", "outcome", "solve time"}, cells))
+	fmt.Println()
+	label := "portfolio winner " + res.Backend
+	if deadlineHit(ctx, budget, elapsed) {
+		label += " (deadline hit; anytime members returned incumbents)"
+	}
+	report(g, res.Schedule, label, elapsed, simulate, dotPath)
+}
+
+func runBatch(ctx context.Context, b solver.Scheduler, graphs []*graph.Graph, stages, jobs int) {
+	start := time.Now()
+	results, err := solver.Batch(ctx, b, graphs, stages, jobs)
+	elapsed := time.Since(start)
+	var cells [][]string
+	for _, r := range results {
+		outcome := r.Cost.String()
+		if r.Err != nil {
+			outcome = "error: " + r.Err.Error()
 		}
-		if samples > 0 {
-			s, err := rl.ScheduleSampled(m, embed.Default(), g, stages, samples, 1)
-			return s, fmt.Sprintf(" (best of %d samples + greedy)", samples), err
+		cached := ""
+		if r.CacheHit {
+			cached = "hit"
 		}
-		s, err := rl.Schedule(m, embed.Default(), g, stages)
-		return s, "", err
-	case "exact":
-		res := exact.Solve(g, stages, exact.Options{Timeout: timeout, MaxStates: 200_000_000})
-		note := ""
-		if !res.Optimal {
-			note = " (budget hit; incumbent, not proven optimal)"
+		cells = append(cells, []string{r.Graph.Name, outcome, r.Elapsed.Round(time.Microsecond).String(), cached})
+	}
+	fmt.Print(bench.RenderTable([]string{"graph", "outcome", "solve time", "cache"}, cells))
+	fmt.Printf("\nscheduled %d graphs with %d workers in %v\n", len(graphs), jobs, elapsed)
+	failed, cut := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+		case errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled):
+			cut++
+		default:
+			failed++
 		}
-		return res.Schedule, note, nil
-	case "exact-ilp-grade":
-		res := exact.Solve(g, stages, exact.Options{Timeout: timeout, MaxStates: 200_000_000, TieBreakCross: true})
-		note := ""
-		if !res.Optimal {
-			note = " (budget hit; incumbent, not proven optimal)"
-		}
-		return res.Schedule, note, nil
-	case "compiler":
-		return heur.GreedyBalanced(g, stages), "", nil
-	case "list":
-		return heur.ListSchedule(g, stages), "", nil
-	case "hu":
-		return heur.HuLevel(g, stages), "", nil
-	case "force":
-		return heur.ForceDirected(g, stages), "", nil
-	case "dp":
-		return heur.DPBudget(g, stages), "", nil
-	case "anneal":
-		return heur.Annealed(g, stages, 5000, 1), "", nil
-	default:
-		return sched.Schedule{}, "", fmt.Errorf("unknown scheduler %q", name)
+	}
+	switch {
+	case failed > 0:
+		log.Fatalf("%d of %d graphs failed", failed, len(results))
+	case cut > 0:
+		log.Fatalf("deadline hit: %d of %d graphs were not scheduled", cut, len(results))
+	case err != nil:
+		// Deadline reached, yet every graph got an (anytime) schedule —
+		// informational, not a failure.
+		fmt.Printf("note: deadline hit mid-batch (%v); anytime backends returned incumbents\n", err)
 	}
 }

@@ -1,0 +1,149 @@
+package respect
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackendsRegistry(t *testing.T) {
+	names := Backends()
+	if len(names) == 0 {
+		t.Fatal("no backends registered")
+	}
+	for _, want := range []string{"exact", "heur", "compiler", "ilp"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %q missing (have %v)", want, names)
+		}
+	}
+	if _, err := LookupBackend("definitely-not-a-backend"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestSchedulePortfolioAcceptance is the tentpole acceptance check:
+// SchedulePortfolio over {rl, heur, exact} on a model-zoo graph returns a
+// schedule at least as cheap as every individual backend, within the
+// given deadline.
+func TestSchedulePortfolioAcceptance(t *testing.T) {
+	a := quickAgent(t)
+	if err := a.RegisterBackends(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadModel("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := 30 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	res, err := SchedulePortfolio(ctx, g, 4, "rl", "heur", "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > deadline+2*time.Second {
+		t.Fatalf("portfolio overran the deadline: %v", elapsed)
+	}
+	if err := res.Schedule.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	// The portfolio's pick must be <= every member's own result.
+	for _, name := range []string{"rl", "heur", "exact"} {
+		b, err := LookupBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := b.Schedule(ctx, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := s.Evaluate(g); c.Less(res.Cost) {
+			t.Fatalf("portfolio (%v via %s) worse than %s alone (%v)", res.Cost, res.Backend, name, c)
+		}
+	}
+}
+
+func TestScheduleBatchFacade(t *testing.T) {
+	ResetScheduleCache()
+	g1, _ := LoadModel("Xception")
+	g2, _ := LoadModel("ResNet50")
+	graphs := []*Graph{g1, g2, g1, g2, g1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := ScheduleBatch(ctx, graphs, 4, "heur", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(graphs) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Graph != graphs[i] {
+			t.Fatalf("item %d out of order", i)
+		}
+		if err := r.Schedule.Validate(graphs[i]); err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	// Graphs repeat, so the fingerprint cache must have hits.
+	hits, misses := ScheduleCacheStats("heur")
+	if misses == 0 || hits == 0 {
+		t.Fatalf("cache stats = %d hits / %d misses; want both nonzero for repeated graphs", hits, misses)
+	}
+	// Identical graphs must get identical schedules.
+	for v := range results[0].Schedule.Stage {
+		if results[0].Schedule.Stage[v] != results[2].Schedule.Stage[v] {
+			t.Fatal("cache returned a different schedule for an identical graph")
+		}
+	}
+}
+
+func TestScheduleWithUnknownBackend(t *testing.T) {
+	g, _ := LoadModel("Xception")
+	if _, err := ScheduleWith(context.Background(), "nope", g, 4); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	s, err := ScheduleWith(context.Background(), "compiler", g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomBackendRegistration(t *testing.T) {
+	custom := NewBackend("custom-test-backend", func(ctx context.Context, g *Graph, numStages int) (Schedule, error) {
+		return ScheduleCompiler(g, numStages), nil
+	})
+	if err := RegisterBackend(custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterBackend(custom); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	g, _ := LoadModel("Xception")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := SchedulePortfolio(ctx, g, 4, "custom-test-backend", "heur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

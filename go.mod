@@ -1,0 +1,3 @@
+module respect
+
+go 1.24

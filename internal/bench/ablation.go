@@ -1,15 +1,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"respect/internal/embed"
 	"respect/internal/exact"
-	"respect/internal/heur"
 	"respect/internal/models"
 	"respect/internal/rl"
 	"respect/internal/sched"
+	"respect/internal/solver"
 )
 
 // AblationRow is one training-variant outcome.
@@ -132,7 +133,7 @@ func PostProcessAblation(tr *rl.Trainer, names []string, stages []int) ([]PostPr
 	return rows, nil
 }
 
-// HeuristicRow compares the classic heuristics' schedule quality on a
+// HeuristicRow compares one scheduler backend's schedule quality on a
 // model (supporting the paper's §II discussion of the heuristic/exact
 // trade-off).
 type HeuristicRow struct {
@@ -142,35 +143,62 @@ type HeuristicRow struct {
 	Elapsed  time.Duration
 }
 
-// HeuristicStudy evaluates every classic heuristic on one model.
+// StudyBackends returns the registry backends the heuristic study runs by
+// default: everything registered except the generic MILP (hours at model
+// scale), the full compiler emulation (its solve time is Figure 3's story,
+// not a quality story), the "dp" alias (the same heuristic as "heur"),
+// and the model-bound RL decoders, which need an agent.
+func StudyBackends() []string {
+	skip := map[string]bool{"ilp": true, "compiler-full": true, "dp": true,
+		"rl": true, "rl-sampled": true, "rl-beam": true}
+	var names []string
+	for _, n := range solver.Names() {
+		if !skip[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// HeuristicStudy evaluates the default backend set on one model with a
+// 10-second budget per backend.
 func HeuristicStudy(name string, ns int) ([]HeuristicRow, error) {
-	g, err := models.Load(name)
+	return BackendStudy(context.Background(), name, ns, nil, 10*time.Second)
+}
+
+// BackendStudy evaluates the named registry backends (nil = the
+// StudyBackends default set) on one model, reporting deployed schedule
+// quality and solve latency per backend. Each backend gets its own
+// perBackend budget (0 = none beyond ctx), so an anytime search that runs
+// to its deadline cannot starve the backends after it.
+func BackendStudy(ctx context.Context, model string, ns int, backends []string, perBackend time.Duration) ([]HeuristicRow, error) {
+	g, err := models.Load(model)
 	if err != nil {
 		return nil, err
 	}
-	type h struct {
-		name string
-		run  func() sched.Schedule
+	if backends == nil {
+		backends = StudyBackends()
 	}
-	hs := []h{
-		{"greedy-balanced (compiler)", func() sched.Schedule { return heur.GreedyBalanced(g, ns) }},
-		{"Hu levels", func() sched.Schedule { return heur.HuLevel(g, ns) }},
-		{"list scheduling", func() sched.Schedule { return heur.ListSchedule(g, ns) }},
-		{"force-directed", func() sched.Schedule { return heur.ForceDirected(g, ns) }},
-		{"DP budgeting", func() sched.Schedule { return heur.DPBudget(g, ns) }},
-		{"simulated annealing", func() sched.Schedule { return heur.Annealed(g, ns, 3000, 1) }},
-		{"exact (B&B)", func() sched.Schedule {
-			return exact.Solve(g, ns, exact.Options{Timeout: 30 * time.Second, MaxStates: 100_000_000}).Schedule
-		}},
+	schedulers, err := solver.Resolve(backends...)
+	if err != nil {
+		return nil, err
 	}
 	var rows []HeuristicRow
-	for _, hh := range hs {
+	for _, b := range schedulers {
+		bctx, cancel := ctx, context.CancelFunc(func() {})
+		if perBackend > 0 {
+			bctx, cancel = context.WithTimeout(ctx, perBackend)
+		}
 		start := time.Now()
-		s := hh.run()
+		s, err := b.Schedule(bctx, g, ns)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("bench: backend %q: %w", b.Name(), err)
+		}
 		el := time.Since(start)
 		c := s.Evaluate(g)
 		rows = append(rows, HeuristicRow{
-			Name:     hh.name,
+			Name:     b.Name(),
 			PeakMiB:  float64(c.PeakParamBytes) / (1 << 20),
 			CrossMiB: float64(c.CrossBytes) / (1 << 20),
 			Elapsed:  el,

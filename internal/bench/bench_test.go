@@ -3,7 +3,10 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"respect/internal/exact"
+	"respect/internal/models"
 	"respect/internal/rl"
 	"respect/internal/tpu"
 )
@@ -124,18 +127,26 @@ func TestHeuristicStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 7 {
-		t.Fatalf("%d heuristics", len(rows))
+	if want := len(StudyBackends()); len(rows) != want {
+		t.Fatalf("%d rows, want one per study backend (%d)", len(rows), want)
 	}
-	var exactPeak float64
+	found := false
 	for _, r := range rows {
-		if r.Name == "exact (B&B)" {
-			exactPeak = r.PeakMiB
+		if r.Name == "exact" {
+			found = true
 		}
 	}
+	if !found {
+		t.Fatal("exact backend missing from study")
+	}
+	// Every backend returns deployed schedules, which stay monotone, so
+	// none can beat the raw monotone optimum.
+	g := models.MustLoad("Xception")
+	opt := exact.Solve(g, 4, exact.Options{Timeout: 30 * time.Second, MaxStates: 100_000_000})
+	optMiB := float64(opt.Cost.PeakParamBytes) / (1 << 20)
 	for _, r := range rows {
-		if r.PeakMiB < exactPeak-1e-9 {
-			t.Errorf("%s beat the exact optimum: %.3f < %.3f", r.Name, r.PeakMiB, exactPeak)
+		if r.PeakMiB < optMiB-1e-9 {
+			t.Errorf("%s beat the monotone optimum: %.3f < %.3f", r.Name, r.PeakMiB, optMiB)
 		}
 	}
 	if _, err := HeuristicStudy("NoSuchModel", 4); err == nil {

@@ -20,6 +20,7 @@
 package exact
 
 import (
+	"context"
 	"time"
 
 	"respect/internal/bitset"
@@ -30,7 +31,9 @@ import (
 
 // Options configures the solver's effort budget.
 type Options struct {
-	// Timeout bounds wall-clock solve time; zero means no limit.
+	// Timeout bounds wall-clock solve time; zero means no limit. Under
+	// SolveCtx the effective deadline is the earlier of start+Timeout and
+	// the context deadline.
 	Timeout time.Duration
 	// MaxStates bounds the number of search states; zero means no limit.
 	MaxStates int64
@@ -74,6 +77,7 @@ type solver struct {
 	g         *graph.Graph
 	numStages int
 	opts      Options
+	ctx       context.Context
 
 	param []int64 // per-node parameter bytes
 	total int64
@@ -102,12 +106,20 @@ type solver struct {
 // Solve finds a minimum-peak-memory monotone schedule of g on numStages
 // stages.
 func Solve(g *graph.Graph, numStages int, opts Options) Result {
+	return SolveCtx(context.Background(), g, numStages, opts)
+}
+
+// SolveCtx is Solve under a context. Cancellation or an expired context
+// deadline truncates the search (Result.Optimal false) and the best
+// incumbent found so far — at minimum the DP seed — is returned, so a
+// cancelled solve still yields a valid schedule.
+func SolveCtx(ctx context.Context, g *graph.Graph, numStages int, opts Options) Result {
 	if numStages < 1 {
 		numStages = 1
 	}
 	n := g.NumNodes()
 	s := &solver{
-		g: g, numStages: numStages, opts: opts,
+		g: g, numStages: numStages, opts: opts, ctx: ctx,
 		param:    make([]int64, n),
 		out:      make([]int64, n),
 		ideal:    bitset.New(n),
@@ -124,6 +136,9 @@ func Solve(g *graph.Graph, numStages int, opts Options) Result {
 	}
 	if opts.Timeout > 0 {
 		s.deadline = s.start.Add(opts.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
+		s.deadline = d
 	}
 	for v := 0; v < n; v++ {
 		s.param[v] = g.Node(v).ParamBytes
@@ -148,8 +163,13 @@ func Solve(g *graph.Graph, numStages int, opts Options) Result {
 	if numStages == 1 || n == 0 {
 		return Result{Schedule: s.best, Cost: s.bestCost, Optimal: true, Elapsed: time.Since(s.start)}
 	}
-
-	s.extend(0, 0, 0, 0, 0, 0)
+	if ctx.Err() != nil {
+		// Cancelled before the search started: hand back the DP seed as a
+		// truncated incumbent without exploring anything.
+		s.truncated = true
+	} else {
+		s.extend(0, 0, 0, 0, 0, 0)
+	}
 
 	return Result{
 		Schedule: s.best,
@@ -168,9 +188,15 @@ func (s *solver) budgetExceeded() bool {
 		s.truncated = true
 		return true
 	}
-	if !s.deadline.IsZero() && s.states&0xfff == 0 && time.Now().After(s.deadline) {
-		s.truncated = true
-		return true
+	if s.states&0xfff == 0 {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.truncated = true
+			return true
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.truncated = true
+			return true
+		}
 	}
 	return false
 }

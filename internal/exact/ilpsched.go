@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -105,8 +106,15 @@ func BuildILP(g *graph.Graph, numStages int) *ilp.Problem {
 // the combinatorial Solve is orders of magnitude faster and is used to
 // cross-validate it in tests.
 func SolveILP(g *graph.Graph, numStages int, opts ilp.Options) (ILPResult, error) {
+	return SolveILPCtx(context.Background(), g, numStages, opts)
+}
+
+// SolveILPCtx is SolveILP under a context; the MILP search stops at the
+// earlier of the context deadline and opts.Timeout, and honors explicit
+// cancellation between (and within) LP relaxations.
+func SolveILPCtx(ctx context.Context, g *graph.Graph, numStages int, opts ilp.Options) (ILPResult, error) {
 	p := BuildILP(g, numStages)
-	sol, err := ilp.Solve(p, opts)
+	sol, err := ilp.SolveCtx(ctx, p, opts)
 	if err != nil {
 		return ILPResult{}, err
 	}

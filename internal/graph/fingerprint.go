@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's topology and
+// per-node scheduling attributes (operator kind, parameter bytes, output
+// bytes, MACs) plus the adjacency structure. Two graphs with identical
+// structure and attributes share a fingerprint regardless of Name, so a
+// schedule computed for one is valid — and cost-identical — for the other.
+// This keys the solver-level schedule cache.
+func (g *Graph) Fingerprint() uint64 {
+	g.mustBuilt()
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	u64(uint64(len(g.nodes)))
+	for v := range g.nodes {
+		n := &g.nodes[v]
+		u64(uint64(n.Kind))
+		u64(uint64(n.ParamBytes))
+		u64(uint64(n.OutBytes))
+		u64(uint64(n.MACs))
+		u64(uint64(len(g.succ[v])))
+		for _, w := range g.succ[v] {
+			u64(uint64(w))
+		}
+	}
+	return h.Sum64()
+}

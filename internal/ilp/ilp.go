@@ -6,6 +6,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -19,9 +20,12 @@ type Problem struct {
 	Integer []bool
 }
 
-// Options bounds solver effort.
+// Options bounds solver effort. Wall-clock limits are expressed through
+// the context passed to SolveCtx; Timeout remains as a convenience that is
+// intersected with the context deadline.
 type Options struct {
-	// Timeout caps wall-clock time; zero means unlimited.
+	// Timeout caps wall-clock time; zero means unlimited. The effective
+	// deadline is the earlier of start+Timeout and the context deadline.
 	Timeout time.Duration
 	// MaxNodes caps branch-and-bound nodes; zero means unlimited.
 	MaxNodes int
@@ -56,6 +60,7 @@ type bbSolver struct {
 	base     lp.Problem
 	integer  []bool
 	opts     Options
+	ctx      context.Context
 	start    time.Time
 	deadline time.Time
 
@@ -68,15 +73,27 @@ type bbSolver struct {
 
 // Solve runs depth-first branch and bound on p.
 func Solve(p *Problem, opts Options) (Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve under a context: the search stops at the earlier of the
+// context deadline and opts.Timeout, and an explicit cancellation aborts the
+// current LP relaxation mid-pivot. A solve cut off with an integral
+// incumbent reports Feasible; with none, Unknown.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 	s := &bbSolver{
 		base:    p.LP,
 		integer: p.Integer,
 		opts:    opts,
+		ctx:     ctx,
 		start:   time.Now(),
 		bestObj: math.Inf(1),
 	}
 	if opts.Timeout > 0 {
 		s.deadline = s.start.Add(opts.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
+		s.deadline = d
 	}
 	status, err := s.branch(nil)
 	if err != nil {
@@ -114,6 +131,10 @@ func (s *bbSolver) outOfBudget() bool {
 		s.stopped = true
 		return true
 	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.stopped = true
+		return true
+	}
 	return false
 }
 
@@ -131,7 +152,11 @@ func (s *bbSolver) branch(extra []lp.Constraint) (lp.Status, error) {
 		Objective:   s.base.Objective,
 		Constraints: append(append([]lp.Constraint{}, s.base.Constraints...), extra...),
 	}
-	rel, err := lp.SolveOpt(&prob, lp.Opts{Deadline: s.deadline})
+	lpOpts := lp.Opts{Deadline: s.deadline}
+	if s.ctx != nil {
+		lpOpts.Cancel = s.ctx.Done()
+	}
+	rel, err := lp.SolveOpt(&prob, lpOpts)
 	if err == lp.ErrDeadline {
 		s.stopped = true
 		return lp.Infeasible, nil

@@ -88,6 +88,10 @@ var ErrDeadline = errors.New("lp: deadline exceeded")
 type Opts struct {
 	// Deadline aborts the solve when passed (zero value disables).
 	Deadline time.Time
+	// Cancel aborts the solve when closed (nil disables). Callers pass
+	// ctx.Done() so an explicitly cancelled context stops a pivot loop even
+	// when it carries no deadline.
+	Cancel <-chan struct{}
 	// MaxIters caps total simplex pivots (0 uses the defensive default).
 	MaxIters int
 }
@@ -112,6 +116,7 @@ func SolveOpt(p *Problem, opts Opts) (Solution, error) {
 
 	t := newTableau(p)
 	t.deadline = opts.Deadline
+	t.cancel = opts.Cancel
 	t.maxIters = opts.MaxIters
 	if t.maxIters <= 0 {
 		t.maxIters = 200000
@@ -151,6 +156,7 @@ type tableau struct {
 	artBase int       // first artificial column
 
 	deadline time.Time
+	cancel   <-chan struct{}
 	maxIters int
 	iters    int
 	aborted  bool
@@ -302,9 +308,19 @@ func (t *tableau) simplex(z []float64, allowed int) (int, bool) {
 			t.aborted = true
 			return iters, true
 		}
-		if !t.deadline.IsZero() && iters&0x3f == 0 && time.Now().After(t.deadline) {
-			t.aborted = true
-			return iters, true
+		if iters&0x3f == 0 {
+			if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+				t.aborted = true
+				return iters, true
+			}
+			if t.cancel != nil {
+				select {
+				case <-t.cancel:
+					t.aborted = true
+					return iters, true
+				default:
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,97 @@
+package solver
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// BatchResult is one graph's outcome within a batch run. Results are
+// returned in input order regardless of worker interleaving.
+type BatchResult struct {
+	// Index is the graph's position in the input slice.
+	Index int
+	// Graph is the scheduled graph.
+	Graph *graph.Graph
+	// Schedule and Cost are set when Err is nil.
+	Schedule sched.Schedule
+	Cost     sched.Cost
+	// Err reports a failed instance (the rest of the batch still runs).
+	Err error
+	// Elapsed is the instance's solve wall time.
+	Elapsed time.Duration
+	// CacheHit reports that the schedule came from a Cached wrapper's
+	// fingerprint cache rather than a fresh solve.
+	CacheHit bool
+}
+
+// Batch schedules every graph on numStages stages with backend b through a
+// bounded pool of jobs workers (clamped to [1, len(graphs)]). The i-th
+// result always corresponds to graphs[i] — deterministic ordering for any
+// jobs value. Per-graph failures are recorded in their BatchResult; the
+// only call-level error is caller-context cancellation, in which case
+// unstarted instances carry ctx's error.
+func Batch(ctx context.Context, b Scheduler, graphs []*graph.Graph, numStages, jobs int) ([]BatchResult, error) {
+	results := make([]BatchResult, len(graphs))
+	if len(graphs) == 0 {
+		return results, ctx.Err()
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(graphs) {
+		jobs = len(graphs)
+	}
+
+	hitter, _ := b.(interface {
+		scheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, error)
+	})
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				r := &results[i]
+				r.Index = i
+				r.Graph = graphs[i]
+				start := time.Now()
+				if hitter != nil {
+					r.Schedule, r.CacheHit, r.Err = hitter.scheduleTracked(ctx, graphs[i], numStages)
+				} else {
+					r.Schedule, r.Err = b.Schedule(ctx, graphs[i], numStages)
+				}
+				r.Elapsed = time.Since(start)
+				if r.Err == nil {
+					if verr := r.Schedule.Validate(graphs[i]); verr != nil {
+						r.Err = verr
+					} else {
+						r.Cost = r.Schedule.Evaluate(graphs[i])
+					}
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range graphs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			// Workers only touch indices already fed, so the tail from i on
+			// is exclusively ours: mark it cancelled.
+			for j := i; j < len(graphs); j++ {
+				results[j] = BatchResult{Index: j, Graph: graphs[j], Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results, ctx.Err()
+}

@@ -1,0 +1,120 @@
+package solver
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// Cached wraps a Scheduler with an LRU schedule cache keyed by graph
+// fingerprint (topology + per-node parameters) and stage count: repeated
+// requests for structurally identical graphs — multi-model serving,
+// synthetic sweeps, benchmark reruns — return in O(1) without re-running
+// the backend. Safe for concurrent use; hits return defensive copies so
+// callers can never corrupt a cached schedule.
+type Cached struct {
+	inner Scheduler
+	cap   int
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheKey struct {
+	fp        uint64
+	numStages int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	s   sched.Schedule
+}
+
+// NewCached wraps inner with a cache of at most capacity schedules
+// (capacity < 1 defaults to 256).
+func NewCached(inner Scheduler, capacity int) *Cached {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &Cached{
+		inner:   inner,
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Name implements Scheduler: a Cached backend is transparent, carrying its
+// inner backend's name.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Schedule implements Scheduler.
+func (c *Cached) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	s, _, err := c.scheduleTracked(ctx, g, numStages)
+	return s, err
+}
+
+// scheduleTracked is Schedule plus a cache-hit flag; the Batch engine
+// detects it through an unexported interface to surface per-item hits.
+func (c *Cached) scheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, error) {
+	key := cacheKey{fp: g.Fingerprint(), numStages: numStages}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		s := el.Value.(*cacheEntry).s.Clone()
+		c.hits++
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Solve outside the lock: a slow backend must not serialize unrelated
+	// cache traffic. Concurrent misses on one key may race the solve; the
+	// last finisher's (equivalent) schedule wins.
+	s, info, err := ScheduleInfo(ctx, c.inner, g, numStages)
+	if err != nil {
+		return sched.Schedule{}, false, err
+	}
+	if info.Truncated || ctx.Err() != nil {
+		// A budget-cut incumbent is only as good as this call's deadline;
+		// caching it would poison every later caller with a looser budget.
+		return s, false, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).s = s.Clone()
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, s: s.Clone()})
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	return s, false, nil
+}
+
+// Stats returns cumulative cache hits and misses.
+func (c *Cached) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached schedules.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

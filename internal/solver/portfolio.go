@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// Outcome is the per-backend telemetry of one portfolio run.
+type Outcome struct {
+	// Backend is the Scheduler's name.
+	Backend string
+	// Schedule and Cost are set when Err is nil and the schedule validated.
+	Schedule sched.Schedule
+	Cost     sched.Cost
+	// Err is the backend's failure (including ctx cancellation when the
+	// backend was cancelled as a loser before producing a schedule).
+	Err error
+	// Elapsed is the backend's wall-clock solve time.
+	Elapsed time.Duration
+	// Winner marks the backend whose schedule the portfolio returned.
+	Winner bool
+}
+
+// PortfolioResult is the aggregate outcome of racing several backends.
+type PortfolioResult struct {
+	// Schedule is the cheapest deployable schedule found.
+	Schedule sched.Schedule
+	// Cost is Schedule's objective.
+	Cost sched.Cost
+	// Backend names the winner.
+	Backend string
+	// Outcomes reports every raced backend, in input order.
+	Outcomes []Outcome
+}
+
+// PortfolioOptions tunes the race.
+type PortfolioOptions struct {
+	// Patience bounds how long the portfolio keeps waiting for stragglers
+	// after the first backend returns a valid schedule: once it elapses the
+	// shared context is cancelled and anytime backends hand back their
+	// incumbents. Zero waits for every backend (or the caller's deadline).
+	Patience time.Duration
+}
+
+// Portfolio races the given backends on one scheduling instance under the
+// caller's context and returns the best deployable schedule by deployed
+// cost (ties break toward the earlier backend in the argument order).
+// Every backend runs in its own goroutine against a shared derived
+// context; when the race is decided the derived context is cancelled, so
+// no goroutine outlives the call. Backends that error or return invalid
+// schedules are excluded; the call fails only when no backend produced a
+// valid schedule or the caller's context was cancelled outright.
+func Portfolio(ctx context.Context, backends []Scheduler, g *graph.Graph, numStages int) (PortfolioResult, error) {
+	return PortfolioOpt(ctx, backends, g, numStages, PortfolioOptions{})
+}
+
+// PortfolioOpt is Portfolio with explicit options.
+func PortfolioOpt(ctx context.Context, backends []Scheduler, g *graph.Graph, numStages int, opts PortfolioOptions) (PortfolioResult, error) {
+	if len(backends) == 0 {
+		return PortfolioResult{}, errors.New("solver: portfolio needs at least one backend")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type indexed struct {
+		i   int
+		out Outcome
+	}
+	results := make(chan indexed, len(backends))
+	for i, b := range backends {
+		go func(i int, b Scheduler) {
+			start := time.Now()
+			s, err := b.Schedule(raceCtx, g, numStages)
+			out := Outcome{Backend: b.Name(), Elapsed: time.Since(start), Err: err}
+			if err == nil {
+				if verr := s.Validate(g); verr != nil {
+					out.Err = fmt.Errorf("solver: backend %q returned an invalid schedule: %w", b.Name(), verr)
+				} else {
+					out.Schedule = s
+					out.Cost = s.Evaluate(g)
+				}
+			}
+			results <- indexed{i, out}
+		}(i, b)
+	}
+
+	res := PortfolioResult{Outcomes: make([]Outcome, len(backends))}
+	var patience <-chan time.Time
+	for done := 0; done < len(backends); {
+		select {
+		case r := <-results:
+			done++
+			res.Outcomes[r.i] = r.out
+			if r.out.Err == nil && patience == nil && opts.Patience > 0 {
+				patience = time.After(opts.Patience)
+			}
+		case <-patience:
+			// The stragglers lost; reclaim their goroutines. Anytime
+			// backends return incumbents, others return ctx.Canceled —
+			// either way every goroutine reports in and we keep draining.
+			cancel()
+			patience = nil
+		}
+	}
+
+	best := -1
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Err != nil {
+			continue
+		}
+		if best < 0 || o.Cost.Less(res.Outcomes[best].Cost) {
+			best = i
+		}
+	}
+	if best < 0 {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("solver: portfolio cancelled before any backend finished: %w", err)
+		}
+		return res, fmt.Errorf("solver: every portfolio backend failed (first: %w)", firstErr(res.Outcomes))
+	}
+	res.Outcomes[best].Winner = true
+	res.Schedule = res.Outcomes[best].Schedule
+	res.Cost = res.Outcomes[best].Cost
+	res.Backend = res.Outcomes[best].Backend
+	return res, nil
+}
+
+func firstErr(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return errors.New("no error recorded")
+}
+
+// PortfolioScheduler wraps a fixed backend set as a Scheduler, so a
+// portfolio composes with the Batch engine and the schedule cache like any
+// single backend.
+func PortfolioScheduler(name string, opts PortfolioOptions, backends ...Scheduler) Scheduler {
+	return NewFunc(name, func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		res, err := PortfolioOpt(ctx, backends, g, numStages, opts)
+		if err != nil {
+			return sched.Schedule{}, err
+		}
+		return res.Schedule, nil
+	})
+}

@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"context"
+
+	"respect/internal/embed"
+	"respect/internal/graph"
+	"respect/internal/ptrnet"
+	"respect/internal/rl"
+	"respect/internal/sched"
+)
+
+// RL backends are model-bound: they wrap a trained pointer network, so
+// they cannot be registered at init time. Whoever loads or trains an
+// agent constructs them here and registers them (see Registry.Replace,
+// which keeps re-loading an agent idempotent).
+
+// rlGuard performs the shared pre-flight cancellation check; pointer
+// decoding runs in microseconds, so finer-grained ctx checks buy nothing.
+func rlGuard(ctx context.Context) error { return ctx.Err() }
+
+// RL returns the greedy pointer-decode backend ("rl"): embedding, greedy
+// decode, ρ stage mapping, deployment repair — the paper's headline
+// inference path.
+func RL(m *ptrnet.Model, ecfg embed.Config) Scheduler {
+	return NewFunc("rl", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		if err := rlGuard(ctx); err != nil {
+			return sched.Schedule{}, err
+		}
+		return rl.Schedule(m, ecfg, g, numStages)
+	})
+}
+
+// RLSampled returns the best-of-K stochastic decode backend
+// ("rl-sampled"): beside the greedy rollout it draws samples decodes and
+// keeps the cheapest deployed schedule.
+func RLSampled(m *ptrnet.Model, ecfg embed.Config, samples int, seed int64) Scheduler {
+	return NewFunc("rl-sampled", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		if err := rlGuard(ctx); err != nil {
+			return sched.Schedule{}, err
+		}
+		return rl.ScheduleSampled(m, ecfg, g, numStages, samples, seed)
+	})
+}
+
+// RLBeam returns the beam-search decode backend ("rl-beam") of the given
+// width.
+func RLBeam(m *ptrnet.Model, ecfg embed.Config, width int) Scheduler {
+	return NewFunc("rl-beam", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		if err := rlGuard(ctx); err != nil {
+			return sched.Schedule{}, err
+		}
+		return rl.ScheduleBeam(m, ecfg, g, numStages, width)
+	})
+}
+
+// AgentBackends bundles the three decode modes of one trained model with
+// default inference knobs (16 samples, beam width 8).
+func AgentBackends(m *ptrnet.Model, ecfg embed.Config) []Scheduler {
+	return []Scheduler{
+		RL(m, ecfg),
+		RLSampled(m, ecfg, 16, 1),
+		RLBeam(m, ecfg, 8),
+	}
+}

@@ -1,0 +1,87 @@
+// Package solver is the scheduling-engine layer of RESPECT: a uniform
+// Scheduler interface over every backend the paper evaluates (RL
+// pointer-network decoding, branch-and-bound exact search, generic MILP,
+// classic heuristics, compiler emulation), a named registry to enumerate
+// and resolve them, and concurrent engines built on top — Portfolio races
+// backends under one deadline and returns the cheapest deployable
+// schedule; Batch schedules many graphs through a bounded worker pool;
+// Cached memoizes schedules by graph fingerprint.
+//
+// Every Scheduler returns deployment-ready schedules (pipeline-monotone
+// and hardware-repaired via sched.PostProcess), so costs are directly
+// comparable across backends and a Portfolio winner can be deployed
+// without further processing. Backends honor context cancellation: when
+// the deadline expires mid-search, anytime backends (exact, ilp, anneal)
+// return their incumbent rather than blocking.
+package solver
+
+import (
+	"context"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// Scheduler maps a DNN computational DAG onto an n-stage Edge TPU
+// pipeline. Implementations must be safe for concurrent use — the
+// Portfolio and Batch engines invoke one value from many goroutines —
+// and must respect ctx: return promptly (with an incumbent schedule or an
+// error) once ctx is cancelled or its deadline passes.
+type Scheduler interface {
+	// Name identifies the backend in the registry and in telemetry.
+	Name() string
+	// Schedule computes a deployment-ready schedule of g on numStages
+	// pipeline stages.
+	Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error)
+}
+
+// Info is optional metadata about how a schedule was obtained, reported
+// by backends that can distinguish a full-effort result from a
+// budget-truncated incumbent.
+type Info struct {
+	// Truncated reports the search ran out of budget (deadline,
+	// cancellation, or state cap) and returned an incumbent.
+	Truncated bool
+	// OptimalityProven reports the result is provably optimal (the exact
+	// family with an exhausted search space).
+	OptimalityProven bool
+}
+
+// InfoScheduler is implemented by backends that report Info alongside the
+// schedule. The schedule cache refuses to store truncated incumbents, and
+// the CLI uses Info to caption results honestly.
+type InfoScheduler interface {
+	Scheduler
+	ScheduleInfo(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, Info, error)
+}
+
+// ScheduleInfo runs b, forwarding metadata when b provides it; plain
+// backends report a zero Info (full-effort, no optimality claim).
+func ScheduleInfo(ctx context.Context, b Scheduler, g *graph.Graph, numStages int) (sched.Schedule, Info, error) {
+	if is, ok := b.(InfoScheduler); ok {
+		return is.ScheduleInfo(ctx, g, numStages)
+	}
+	s, err := b.Schedule(ctx, g, numStages)
+	return s, Info{}, err
+}
+
+// Func adapts a plain function to the Scheduler interface.
+type Func struct {
+	// BackendName is returned by Name.
+	BackendName string
+	// Fn is invoked by Schedule.
+	Fn func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error)
+}
+
+// NewFunc wraps fn as a named Scheduler.
+func NewFunc(name string, fn func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error)) Func {
+	return Func{BackendName: name, Fn: fn}
+}
+
+// Name implements Scheduler.
+func (f Func) Name() string { return f.BackendName }
+
+// Schedule implements Scheduler.
+func (f Func) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	return f.Fn(ctx, g, numStages)
+}

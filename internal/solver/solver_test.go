@@ -1,0 +1,500 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+	"respect/internal/sched"
+)
+
+// chain builds a path graph v0 -> v1 -> ... with the given parameter sizes.
+func chain(params ...int64) *graph.Graph {
+	g := graph.New("chain")
+	for i, p := range params {
+		g.AddNode(graph.Node{ParamBytes: p, OutBytes: 10})
+		if i > 0 {
+			g.AddEdge(i-1, i)
+		}
+	}
+	return g.MustBuild()
+}
+
+func randomDAG(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("rand%d", seed))
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{ParamBytes: 1 + int64(rng.Intn(1000)), OutBytes: 1 + int64(rng.Intn(100))})
+	}
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v)
+	}
+	return g.MustBuild()
+}
+
+// fixed always returns the given schedule (pre-validated by the caller).
+func fixed(name string, s sched.Schedule) Scheduler {
+	return NewFunc(name, func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		return s.Clone(), nil
+	})
+}
+
+// blocker blocks until its context is cancelled, then reports the ctx
+// error; it records that it observed cancellation.
+type blocker struct {
+	cancelled chan struct{}
+}
+
+func (b *blocker) Name() string { return "blocker" }
+func (b *blocker) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	<-ctx.Done()
+	close(b.cancelled)
+	return sched.Schedule{}, ctx.Err()
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"exact", "exact-ilp-grade", "ilp", "heur", "compiler", "compiler-full", "hu", "list", "force", "dp", "anneal"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("built-in backend %q missing from registry (have %v)", want, names)
+		}
+	}
+	// Names is sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	s := fixed("x", sched.NewSchedule(0, 1))
+	if err := r.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(s); err == nil {
+		t.Fatal("duplicate Register should fail")
+	}
+	if err := r.Replace(s); err != nil {
+		t.Fatalf("Replace should overwrite: %v", err)
+	}
+	if _, err := r.Lookup("nope"); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("unknown lookup error = %v", err)
+	}
+	if _, err := r.Resolve("x", "nope"); err == nil {
+		t.Fatal("Resolve with unknown name should fail")
+	}
+	if err := r.Register(NewFunc("", nil)); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	got, err := r.Lookup("x")
+	if err != nil || got.Name() != "x" {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinBackendsProduceValidSchedules(t *testing.T) {
+	// Small enough that the generic MILP backend closes quickly.
+	g := randomDAG(1, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, name := range Names() {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := b.Schedule(ctx, g, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(g); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		if !s.SameStageChildrenOK(g) {
+			t.Fatalf("%s: schedule not deployment-ready (children rule violated)", name)
+		}
+	}
+}
+
+func TestPortfolioPicksMinCost(t *testing.T) {
+	g := chain(100, 100, 100, 100)
+	// Bad: everything in one stage (peak 400). Good: perfectly split.
+	bad := sched.Schedule{NumStages: 2, Stage: []int{0, 0, 0, 0}}
+	good := sched.Schedule{NumStages: 2, Stage: []int{0, 0, 1, 1}}
+	res, err := Portfolio(context.Background(), []Scheduler{fixed("bad", bad), fixed("good", good)}, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "good" {
+		t.Fatalf("winner = %q, want good", res.Backend)
+	}
+	if res.Cost.PeakParamBytes != 200 {
+		t.Fatalf("winning peak = %d, want 200", res.Cost.PeakParamBytes)
+	}
+	if len(res.Outcomes) != 2 || res.Outcomes[0].Backend != "bad" || res.Outcomes[1].Backend != "good" {
+		t.Fatalf("outcomes not in input order: %+v", res.Outcomes)
+	}
+	if res.Outcomes[0].Winner || !res.Outcomes[1].Winner {
+		t.Fatalf("winner flags wrong: %+v", res.Outcomes)
+	}
+}
+
+func TestPortfolioBeatsEveryMember(t *testing.T) {
+	g := randomDAG(7, 20)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	backends, err := Resolve("heur", "compiler", "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Portfolio(ctx, backends, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range backends {
+		s, err := b.Schedule(ctx, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := s.Evaluate(g); c.Less(res.Cost) {
+			t.Fatalf("portfolio cost %v worse than member %s's %v", res.Cost, b.Name(), c)
+		}
+	}
+}
+
+func TestPortfolioCancelsLosers(t *testing.T) {
+	g := chain(50, 50)
+	good := sched.Schedule{NumStages: 2, Stage: []int{0, 1}}
+	slow := &blocker{cancelled: make(chan struct{})}
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := PortfolioOpt(ctx, []Scheduler{fixed("fast", good), slow}, g, 2,
+		PortfolioOptions{Patience: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("portfolio took %v; patience should have cut the blocked loser", elapsed)
+	}
+	if res.Backend != "fast" {
+		t.Fatalf("winner = %q", res.Backend)
+	}
+	select {
+	case <-slow.cancelled:
+	case <-time.After(time.Second):
+		t.Fatal("losing backend never saw cancellation")
+	}
+	lost := res.Outcomes[1]
+	if !errors.Is(lost.Err, context.Canceled) {
+		t.Fatalf("loser outcome err = %v, want context.Canceled", lost.Err)
+	}
+}
+
+func TestPortfolioDeadlineReturnsIncumbents(t *testing.T) {
+	// Under a deadline, the anytime exact backend must return its incumbent
+	// and the portfolio must complete within (about) the deadline.
+	g, err := models.Load("ResNet152")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends, err := Resolve("heur", "exact-ilp-grade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	res, err := Portfolio(ctx, backends, g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("portfolio overran its deadline: %v", elapsed)
+	}
+	if err := res.Schedule.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortfolioAllFail(t *testing.T) {
+	g := chain(10, 10)
+	boom := NewFunc("boom", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		return sched.Schedule{}, errors.New("boom")
+	})
+	// An invalid schedule (dependency violation) must be excluded too.
+	invalid := fixed("invalid", sched.Schedule{NumStages: 2, Stage: []int{1, 0}})
+	_, err := Portfolio(context.Background(), []Scheduler{boom, invalid}, g, 2)
+	if err == nil {
+		t.Fatal("want error when every backend fails")
+	}
+	if _, err := Portfolio(context.Background(), nil, g, 2); err == nil {
+		t.Fatal("want error for an empty portfolio")
+	}
+}
+
+func TestBatchPreservesOrder(t *testing.T) {
+	heurB, err := Lookup("heur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := make([]*graph.Graph, 16)
+	for i := range graphs {
+		graphs[i] = randomDAG(int64(i), 6+i)
+	}
+	for _, jobs := range []int{1, 4, 32} {
+		results, err := Batch(context.Background(), heurB, graphs, 3, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(graphs) {
+			t.Fatalf("jobs=%d: %d results", jobs, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Graph != graphs[i] {
+				t.Fatalf("jobs=%d: result %d out of order (index %d, graph %p)", jobs, i, r.Index, r.Graph)
+			}
+			if r.Err != nil {
+				t.Fatalf("jobs=%d: item %d: %v", jobs, i, r.Err)
+			}
+			if err := r.Schedule.Validate(graphs[i]); err != nil {
+				t.Fatalf("jobs=%d: item %d invalid: %v", jobs, i, err)
+			}
+		}
+	}
+	// Identical results regardless of parallelism.
+	seq, _ := Batch(context.Background(), heurB, graphs, 3, 1)
+	par, _ := Batch(context.Background(), heurB, graphs, 3, 8)
+	for i := range seq {
+		if seq[i].Cost != par[i].Cost {
+			t.Fatalf("item %d: cost differs across jobs (%v vs %v)", i, seq[i].Cost, par[i].Cost)
+		}
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	slow := NewFunc("slow", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		select {
+		case <-ctx.Done():
+			return sched.Schedule{}, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return sched.Schedule{NumStages: numStages, Stage: make([]int, g.NumNodes())}, nil
+		}
+	})
+	graphs := []*graph.Graph{chain(1, 2), chain(3, 4), chain(5, 6), chain(7, 8)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results, err := Batch(ctx, slow, graphs, 2, 2)
+	if err == nil {
+		t.Fatal("want ctx error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("batch did not honor cancellation")
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("item %d should have failed", i)
+		}
+	}
+}
+
+func TestCachedHitReturnsIdenticalSchedule(t *testing.T) {
+	calls := 0
+	inner := NewFunc("counted", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		calls++
+		s, err := Lookup("heur")
+		if err != nil {
+			return sched.Schedule{}, err
+		}
+		return s.Schedule(ctx, g, numStages)
+	})
+	c := NewCached(inner, 8)
+	g := randomDAG(3, 15)
+
+	s1, err := c.Schedule(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Schedule(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("inner called %d times, want 1", calls)
+	}
+	if s1.NumStages != s2.NumStages || len(s1.Stage) != len(s2.Stage) {
+		t.Fatal("cached schedule shape differs")
+	}
+	for v := range s1.Stage {
+		if s1.Stage[v] != s2.Stage[v] {
+			t.Fatalf("cached schedule differs at node %d", v)
+		}
+	}
+	// Mutating the returned schedule must not poison the cache.
+	s2.Stage[0] = s2.NumStages - 1
+	s3, _ := c.Schedule(context.Background(), g, 4)
+	if s3.Stage[0] != s1.Stage[0] {
+		t.Fatal("cache entry was mutated through a returned schedule")
+	}
+	// A different stage count is a different key.
+	if _, err := c.Schedule(context.Background(), g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("inner called %d times after new stage count, want 2", calls)
+	}
+	if hits, misses := c.Stats(); hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/2", hits, misses)
+	}
+}
+
+// truncating reports every result as a budget-cut incumbent.
+type truncating struct{ calls int }
+
+func (tr *truncating) Name() string { return "truncating" }
+func (tr *truncating) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	s, _, err := tr.ScheduleInfo(ctx, g, numStages)
+	return s, err
+}
+func (tr *truncating) ScheduleInfo(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, Info, error) {
+	tr.calls++
+	return sched.NewSchedule(g.NumNodes(), numStages), Info{Truncated: true}, nil
+}
+
+func TestCachedRefusesTruncatedIncumbents(t *testing.T) {
+	inner := &truncating{}
+	c := NewCached(inner, 8)
+	g := chain(5, 5)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.scheduleTracked(ctx, g, 2); err != nil || hit {
+			t.Fatalf("call %d: hit=%v err=%v; truncated incumbents must never be cached", i, hit, err)
+		}
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner called %d times, want 3 (no caching)", inner.calls)
+	}
+	// A result computed under an already-expired context must not be
+	// cached either, even when the backend reports no truncation.
+	heurB, _ := Lookup("heur")
+	c2 := NewCached(NewFunc("expired", func(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+		return heurB.Schedule(context.Background(), g, numStages)
+	}), 8)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c2.scheduleTracked(expired, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 {
+		t.Fatal("result solved under a cancelled context was cached")
+	}
+}
+
+func TestExactBackendReportsInfo(t *testing.T) {
+	g := randomDAG(41, 12)
+	b, _ := Lookup("exact")
+	s, info, err := ScheduleInfo(context.Background(), b, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if !info.OptimalityProven || info.Truncated {
+		t.Fatalf("unbounded exact solve on a 12-node DAG should prove optimality, got %+v", info)
+	}
+	// Pre-cancelled context: the anytime incumbent comes back truncated.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, info, err = ScheduleInfo(cctx, b, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated || info.OptimalityProven {
+		t.Fatalf("cancelled exact solve must report truncation, got %+v", info)
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	heurB, _ := Lookup("heur")
+	c := NewCached(heurB, 2)
+	g1, g2, g3 := randomDAG(11, 8), randomDAG(12, 9), randomDAG(13, 10)
+	ctx := context.Background()
+	for _, g := range []*graph.Graph{g1, g2, g3} {
+		if _, err := c.Schedule(ctx, g, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.Len())
+	}
+	// g1 is the LRU victim: scheduling it again must miss.
+	if _, err := c.Schedule(ctx, g1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 4 {
+		t.Fatalf("stats = %d/%d, want 0 hits 4 misses", hits, misses)
+	}
+}
+
+func TestBatchReportsCacheHits(t *testing.T) {
+	heurB, _ := Lookup("heur")
+	c := NewCached(heurB, 8)
+	g := randomDAG(21, 12)
+	graphs := []*graph.Graph{g, g, g, g}
+	results, err := Batch(context.Background(), c, graphs, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].CacheHit {
+		t.Fatal("first solve should miss")
+	}
+	for i := 1; i < len(results); i++ {
+		if !results[i].CacheHit {
+			t.Fatalf("item %d should hit the cache", i)
+		}
+	}
+}
+
+func TestPortfolioSchedulerComposesWithBatch(t *testing.T) {
+	backends, err := Resolve("heur", "compiler", "hu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PortfolioScheduler("mini-portfolio", PortfolioOptions{}, backends...)
+	graphs := []*graph.Graph{randomDAG(31, 10), randomDAG(32, 14), randomDAG(33, 18)}
+	results, err := Batch(context.Background(), p, graphs, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		// The portfolio can never be worse than the compiler baseline.
+		comp, _ := Lookup("compiler")
+		s, err := comp.Schedule(context.Background(), graphs[i], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Evaluate(graphs[i]).Less(r.Cost) {
+			t.Fatalf("item %d: portfolio worse than compiler member", i)
+		}
+	}
+}

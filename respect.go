@@ -21,19 +21,21 @@
 package respect
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"respect/internal/compiler"
 	"respect/internal/embed"
 	"respect/internal/exact"
 	"respect/internal/graph"
-	"respect/internal/heur"
 	"respect/internal/models"
 	"respect/internal/pipeline"
 	"respect/internal/ptrnet"
 	"respect/internal/rl"
 	"respect/internal/sched"
+	"respect/internal/solver"
 	"respect/internal/synth"
 	"respect/internal/tpu"
 )
@@ -157,16 +159,37 @@ func LoadAgent(path string) (*Agent, error) {
 
 // ScheduleExact computes the provably optimal (peak parameter memory)
 // schedule with the branch-and-bound exact solver. optimal reports whether
-// the search completed within timeout.
+// the search completed within timeout. It is a thin wrapper over
+// ScheduleExactCtx with a timeout-derived context.
 func ScheduleExact(g *Graph, numStages int, timeout time.Duration) (s Schedule, cost Cost, optimal bool) {
-	res := exact.Solve(g, numStages, exact.Options{Timeout: timeout, MaxStates: 200_000_000})
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return ScheduleExactCtx(ctx, g, numStages)
+}
+
+// ScheduleExactCtx is the exact solver under a context: cancellation or an
+// expired deadline truncates the search and returns the best incumbent
+// (optimal false), so the caller always gets a valid schedule.
+func ScheduleExactCtx(ctx context.Context, g *Graph, numStages int) (s Schedule, cost Cost, optimal bool) {
+	res := exact.SolveCtx(ctx, g, numStages, exact.Options{MaxStates: 200_000_000})
 	return res.Schedule, res.Cost, res.Optimal
 }
 
 // ScheduleCompiler returns the Edge TPU compiler baseline's partition
-// (parameter-balanced greedy, hardware-repaired).
+// (parameter-balanced greedy, hardware-repaired) — a thin wrapper over the
+// registry's "compiler" backend.
 func ScheduleCompiler(g *Graph, numStages int) Schedule {
-	return sched.PostProcess(g, heur.GreedyBalanced(g, numStages))
+	s, err := ScheduleWith(context.Background(), "compiler", g, numStages)
+	if err != nil {
+		// The compiler heuristic cannot fail on a built graph with an
+		// un-cancelled context.
+		panic("respect: compiler backend: " + err.Error())
+	}
+	return s
 }
 
 // CompileFull runs the complete compiler-emulation flow (quantization,
@@ -223,3 +246,141 @@ func CoralPCIeHW() HW { return tpu.CoralPCIe() }
 
 // DevBoardHW returns the Coral Dev Board platform variant.
 func DevBoardHW() HW { return tpu.DevBoard() }
+
+// ---- Scheduler backends and concurrent engines ----
+
+// Backend is a named, context-aware scheduler (see internal/solver): any
+// value implementing it can be registered and then raced in portfolios or
+// fanned out over batches alongside the built-in backends.
+type Backend = solver.Scheduler
+
+// BackendOutcome is per-backend portfolio telemetry.
+type BackendOutcome = solver.Outcome
+
+// PortfolioResult is the aggregate outcome of SchedulePortfolio.
+type PortfolioResult = solver.PortfolioResult
+
+// BatchResult is one graph's outcome within ScheduleBatch.
+type BatchResult = solver.BatchResult
+
+// NewBackend wraps fn as a registrable Backend.
+func NewBackend(name string, fn func(ctx context.Context, g *Graph, numStages int) (Schedule, error)) Backend {
+	return solver.NewFunc(name, fn)
+}
+
+// Backends lists every registered scheduler backend, sorted. The built-in
+// set (exact, exact-ilp-grade, ilp, heur, dp, compiler, compiler-full, hu,
+// list, force, anneal) is always present; RL backends appear once an
+// Agent registers them.
+func Backends() []string { return solver.Names() }
+
+// RegisterBackend adds a custom backend to the registry; names must be
+// unique.
+func RegisterBackend(b Backend) error { return solver.Register(b) }
+
+// LookupBackend resolves a registered backend by name.
+func LookupBackend(name string) (Backend, error) { return solver.Lookup(name) }
+
+// Backend returns the agent's greedy-decode scheduler ("rl").
+func (a *Agent) Backend() Backend { return solver.RL(a.model, a.ecfg) }
+
+// SampledBackend returns the agent's best-of-K stochastic decoder
+// ("rl-sampled").
+func (a *Agent) SampledBackend(samples int, seed int64) Backend {
+	return solver.RLSampled(a.model, a.ecfg, samples, seed)
+}
+
+// BeamBackend returns the agent's beam-search decoder ("rl-beam").
+func (a *Agent) BeamBackend(width int) Backend { return solver.RLBeam(a.model, a.ecfg, width) }
+
+// RegisterBackends publishes the agent's three decode modes ("rl",
+// "rl-sampled", "rl-beam", with default inference knobs) in the backend
+// registry, overwriting any previously registered agent, and resets the
+// schedule cache so stale results from the previous agent cannot surface.
+func (a *Agent) RegisterBackends() error {
+	for _, b := range solver.AgentBackends(a.model, a.ecfg) {
+		if err := solver.Replace(b); err != nil {
+			return err
+		}
+	}
+	ResetScheduleCache()
+	return nil
+}
+
+// SchedulePortfolio races the named backends on one graph under ctx and
+// returns the cheapest deployable schedule with per-backend telemetry.
+// Anytime backends (exact, ilp) return their incumbents when the context
+// deadline fires, so the call completes within the caller's budget; losing
+// backends are cancelled, and no goroutine outlives the call.
+func SchedulePortfolio(ctx context.Context, g *Graph, numStages int, backendNames ...string) (PortfolioResult, error) {
+	backends, err := solver.Resolve(backendNames...)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	return solver.Portfolio(ctx, backends, g, numStages)
+}
+
+// ScheduleBatch schedules many graphs with one named backend through a
+// bounded pool of jobs workers. Results are in input order for any jobs
+// value. Schedules are memoized by graph fingerprint: structurally
+// repeated graphs (multi-model serving, sweeps) hit an O(1) cache, with
+// per-item hits reported in BatchResult.CacheHit.
+func ScheduleBatch(ctx context.Context, graphs []*Graph, numStages int, backendName string, jobs int) ([]BatchResult, error) {
+	b, err := cachedBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Batch(ctx, b, graphs, numStages, jobs)
+}
+
+// ScheduleWith runs one named backend on one graph, through the same
+// schedule cache as ScheduleBatch.
+func ScheduleWith(ctx context.Context, backendName string, g *Graph, numStages int) (Schedule, error) {
+	b, err := cachedBackend(backendName)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return b.Schedule(ctx, g, numStages)
+}
+
+// scheduleCaches holds one fingerprint-keyed LRU per backend name. The
+// inner scheduler is resolved from the registry at call time, so replacing
+// a backend (agent reload) takes effect immediately.
+var (
+	scheduleCacheMu sync.Mutex
+	scheduleCaches  = map[string]*solver.Cached{}
+)
+
+func cachedBackend(name string) (*solver.Cached, error) {
+	// Validate the name eagerly for a prompt error.
+	if _, err := solver.Lookup(name); err != nil {
+		return nil, err
+	}
+	scheduleCacheMu.Lock()
+	defer scheduleCacheMu.Unlock()
+	if c, ok := scheduleCaches[name]; ok {
+		return c, nil
+	}
+	c := solver.NewCached(solver.Dynamic(solver.Default(), name), 256)
+	scheduleCaches[name] = c
+	return c, nil
+}
+
+// ScheduleCacheStats reports cumulative schedule-cache hits and misses for
+// one backend name.
+func ScheduleCacheStats(backendName string) (hits, misses uint64) {
+	scheduleCacheMu.Lock()
+	c, ok := scheduleCaches[backendName]
+	scheduleCacheMu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return c.Stats()
+}
+
+// ResetScheduleCache drops every cached schedule (all backends).
+func ResetScheduleCache() {
+	scheduleCacheMu.Lock()
+	defer scheduleCacheMu.Unlock()
+	scheduleCaches = map[string]*solver.Cached{}
+}
