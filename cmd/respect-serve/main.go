@@ -1,0 +1,164 @@
+// Command respect-serve runs RESPECT's HTTP scheduling service: graph in,
+// deployment-ready Edge TPU pipeline schedule out, with per-request-class
+// latency budgets, admission control and a zoo-warmed schedule cache.
+//
+// Examples:
+//
+//	respect-serve -addr :8080
+//	respect-serve -addr :8080 -agent respect.gob -interactive-backends heur,rl
+//	respect-serve -addr 127.0.0.1:0 -warm none -batch-budget 10s
+//
+//	curl -s localhost:8080/v1/schedule -d '{"model":"ResNet152","stages":6}'
+//	curl -s localhost:8080/v1/backends
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"respect/internal/embed"
+	"respect/internal/models"
+	"respect/internal/ptrnet"
+	"respect/internal/serve"
+	"respect/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("respect-serve: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// splitNames splits a comma-separated list, trimming whitespace and
+// dropping empty entries.
+func splitNames(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// run is the whole binary behind a cancellable context and an injected
+// stdout, so the smoke tests can drive startup and shutdown in-process.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("respect-serve", flag.ContinueOnError)
+	// Per-class flag defaults come from serve.DefaultClasses so the
+	// policy table has one source of truth.
+	defaults := serve.DefaultClasses()
+	di, db, de := defaults[serve.ClassInteractive], defaults[serve.ClassBatch], defaults[serve.ClassBestEffort]
+	var (
+		addr        = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		stages      = fs.Int("stages", 4, "default pipeline stages for requests that omit stages")
+		cacheSize   = fs.Int("cache", 512, "per-class schedule cache capacity")
+		warm        = fs.String("warm", "zoo", `warm-up set: "zoo" (every model), "none", or comma-separated zoo names`)
+		agentPath   = fs.String("agent", "", "trained agent weights; registers the rl backends before serving")
+		samples     = fs.Int("samples", 16, "stochastic decodes for the rl-sampled backend")
+		beam        = fs.Int("beam", 8, "beam width for the rl-beam backend")
+		interBudget = fs.Duration("interactive-budget", di.Budget, "interactive class latency budget")
+		batchBudget = fs.Duration("batch-budget", db.Budget, "batch class latency budget")
+		beBudget    = fs.Duration("best-effort-budget", de.Budget, "best-effort class latency budget")
+		interBack   = fs.String("interactive-backends", "", "override the interactive portfolio (comma-separated backend names)")
+		batchBack   = fs.String("batch-backends", "", "override the batch portfolio")
+		beBack      = fs.String("best-effort-backends", "", "override the best-effort portfolio")
+		interConc   = fs.Int("interactive-concurrency", di.MaxConcurrent, "interactive class concurrent-request limit")
+		batchConc   = fs.Int("batch-concurrency", db.MaxConcurrent, "batch class concurrent-request limit")
+		beConc      = fs.Int("best-effort-concurrency", de.MaxConcurrent, "best-effort class concurrent-request limit")
+		queueDepth  = fs.Int("queue-depth", 0, "override every class's admission queue depth (0 keeps per-class defaults)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is success, not a failure
+		}
+		return err
+	}
+
+	if *agentPath != "" {
+		m, err := ptrnet.LoadFile(*agentPath)
+		if err != nil {
+			return err
+		}
+		ecfg := embed.Default()
+		for _, b := range []solver.Scheduler{
+			solver.RL(m, ecfg),
+			solver.RLSampled(m, ecfg, *samples, 1),
+			solver.RLBeam(m, ecfg, *beam),
+		} {
+			if err := solver.Replace(b); err != nil {
+				return err
+			}
+		}
+	}
+
+	classes := defaults
+	for class, override := range map[serve.Class]struct {
+		budget   time.Duration
+		backends string
+		conc     int
+	}{
+		serve.ClassInteractive: {*interBudget, *interBack, *interConc},
+		serve.ClassBatch:       {*batchBudget, *batchBack, *batchConc},
+		serve.ClassBestEffort:  {*beBudget, *beBack, *beConc},
+	} {
+		p := classes[class]
+		p.Budget = override.budget
+		p.MaxConcurrent = override.conc
+		if override.backends != "" {
+			p.Backends = splitNames(override.backends)
+		}
+		if *queueDepth > 0 {
+			p.MaxQueue = *queueDepth
+		}
+		classes[class] = p
+	}
+
+	cfg := serve.Config{
+		Stages:    *stages,
+		CacheSize: *cacheSize,
+		Classes:   classes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	}
+	switch *warm {
+	case "zoo":
+		// nil WarmModels warms the whole zoo.
+	case "none":
+		cfg.WarmModels = []string{}
+	default:
+		cfg.WarmModels = splitNames(*warm)
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on http://%s (%d backends, %d zoo models)\n",
+		ln.Addr(), len(solver.Names()), len(models.Names()))
+
+	// Run owns the listener: it warms the caches concurrently with early
+	// traffic and drains in-flight requests on ctx cancellation.
+	return srv.Run(ctx, ln)
+}

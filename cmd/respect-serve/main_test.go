@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe io.Writer the server under test logs to.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// TestRunStartupShutdown drives the whole binary in-process: boot on an
+// ephemeral port with warm-up disabled, serve real requests, then shut
+// down cleanly via context cancellation (the signal path of main).
+func TestRunStartupShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-warm", "none"}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(15 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before listening: %v\noutput: %s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line within 15s; output: %s", out.String())
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet","stages":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d: %s", resp.StatusCode, body)
+	}
+	var sched struct {
+		Backend string `json:"backend"`
+		Stage   []int  `json:"stage"`
+	}
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if sched.Backend == "" || len(sched.Stage) == 0 {
+		t.Fatalf("empty schedule response: %s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not shut down; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no shutdown line in output: %s", out.String())
+	}
+}
+
+// TestRunWarmSetAndFlagErrors covers the warm-set plumbing and flag
+// validation without binding a real port twice.
+func TestRunWarmSetAndFlagErrors(t *testing.T) {
+	// Unknown warm model fails fast, before listening.
+	var out syncBuffer
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "NoSuchNet"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchNet") {
+		t.Fatalf("want unknown-model error, got %v", err)
+	}
+	// Bad flag is reported by the flag set, not a panic.
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("want flag error")
+	}
+	// Unknown backend override fails at config validation.
+	err = run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "none", "-interactive-backends", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("want unknown-backend error, got %v", err)
+	}
+}
+
+// TestRunWarmUpCachesZooSubset boots with a two-model warm set and checks
+// the first request is a cache hit once stats report the warm-up done.
+func TestRunWarmUpCachesZooSubset(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-warm", "MobileNet,VGG16"}, &out)
+	}()
+	var base string
+	deadline := time.Now().Add(15 * time.Second)
+	for base == "" && time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("no listening line; output: %s", out.String())
+	}
+
+	// Wait for the warm-up to land (it runs concurrently with serving).
+	warmed := false
+	for time.Now().Before(deadline) && !warmed {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			WarmedSchedules int64 `json:"warmed_schedules"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmed = st.WarmedSchedules >= 2
+		if !warmed {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !warmed {
+		t.Fatalf("warm-up never completed; output: %s", out.String())
+	}
+
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var schedResp struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(body, &schedResp); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if !schedResp.CacheHit {
+		t.Fatalf("warmed model missed the cache: %s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}

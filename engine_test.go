@@ -2,6 +2,10 @@ package respect
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -145,5 +149,36 @@ func TestCustomBackendRegistration(t *testing.T) {
 	}
 	if err := res.Schedule.Validate(g); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNewServerFacade(t *testing.T) {
+	srv, err := NewServer(ServeConfig{Stages: 4, WarmModels: []string{"MobileNet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := srv.WarmUp(context.Background()); err != nil || n < 1 {
+		t.Fatalf("warm-up: n=%d err=%v", n, err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet","class":"interactive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		CacheHit bool  `json:"cache_hit"`
+		Stage    []int `json:"stage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.CacheHit || len(out.Stage) == 0 {
+		t.Fatalf("status=%d cache_hit=%v stages=%d", resp.StatusCode, out.CacheHit, len(out.Stage))
+	}
+	if st := srv.Stats(); st.WarmedSchedules < 1 {
+		t.Fatalf("stats warmed = %d", st.WarmedSchedules)
 	}
 }

@@ -1,0 +1,193 @@
+// Fuzz targets for the graph JSON wire format and the structural
+// fingerprint. External test package so the seed corpus can draw on the
+// model zoo (models imports graph).
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+)
+
+// zooSeeds serializes a few representative zoo graphs (chain-style,
+// dense-block and wide-inception topologies) as decoder seed inputs.
+func zooSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for _, name := range []string{"ResNet50", "DenseNet121", "Inception_v3", "MobileNet"} {
+		g, err := models.Load(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+// structurallyEqual deep-compares two built graphs through the public API:
+// node attributes (not names — the fingerprint is name-blind by design)
+// and adjacency.
+func structurallyEqual(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		na, nb := a.Node(v), b.Node(v)
+		if na.Kind != nb.Kind || na.ParamBytes != nb.ParamBytes || na.OutBytes != nb.OutBytes || na.MACs != nb.MACs {
+			return false
+		}
+		sa, sb := a.Succ(v), b.Succ(v)
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzReadJSON feeds arbitrary bytes to the graph decoder: it must never
+// panic, and every graph it accepts must survive an encode/decode round
+// trip with its structure (and therefore fingerprint) intact.
+func FuzzReadJSON(f *testing.F) {
+	for _, seed := range zooSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"name":"g","nodes":[{"name":"a","kind":"conv","param_bytes":3}],"edges":[]}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"name":"a"},{"name":"b"}],"edges":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"edges":[[0,7]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just must not crash
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		g2, err := graph.ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if !structurallyEqual(g, g2) {
+			t.Fatal("round trip changed the graph structure")
+		}
+		if g.Fingerprint() != g2.Fingerprint() {
+			t.Fatal("round trip changed the fingerprint")
+		}
+	})
+}
+
+// fuzzBuild deterministically derives a small DAG from raw bytes: node
+// count, per-node attributes and parent choices are all read from data.
+// mutNode/mutDelta optionally perturb one node's parameter bytes, and
+// mutEdge rewires one node's parent — the controlled mutations the
+// fingerprint property is checked against.
+func fuzzBuild(data []byte, mutNode uint8, mutDelta int64, mutEdge bool) *graph.Graph {
+	at := func(i int) int64 {
+		if len(data) == 0 {
+			return 0
+		}
+		return int64(data[i%len(data)])
+	}
+	n := int(2 + at(0)%14)
+	g := graph.New("fuzz")
+	for v := 0; v < n; v++ {
+		node := graph.Node{
+			Kind:       graph.OpKind(at(1+3*v) % 15),
+			ParamBytes: at(2 + 3*v),
+			OutBytes:   at(3 + 3*v),
+			MACs:       at(4 + 3*v),
+		}
+		if int(mutNode)%n == v {
+			node.ParamBytes += mutDelta
+		}
+		g.AddNode(node)
+	}
+	for v := 1; v < n; v++ {
+		parent := int(at(5+2*v)) % v
+		if mutEdge && v == n-1 && v > 1 {
+			parent = (parent + 1) % v
+		}
+		g.AddEdge(parent, v)
+	}
+	return g.MustBuild()
+}
+
+// FuzzFingerprint checks the fingerprint contract on mutated inputs:
+// deterministic and name-blind, equal for structurally equal graphs, and
+// different whenever a node attribute or an edge differs (fingerprint
+// equality ⇔ structural equality over the mutation space).
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{7, 1, 2, 3}, uint8(0), int64(1), true)
+	f.Add([]byte{255, 254, 253}, uint8(3), int64(-5), false)
+	f.Add([]byte{}, uint8(0), int64(0), false)
+	f.Add([]byte{42, 42, 42, 42, 42, 42, 42, 42}, uint8(200), int64(1<<40), true)
+	f.Fuzz(func(t *testing.T, data []byte, mutNode uint8, mutDelta int64, mutEdge bool) {
+		base := fuzzBuild(data, 0, 0, false)
+		same := fuzzBuild(data, 0, 0, false)
+		if !structurallyEqual(base, same) {
+			t.Fatal("deterministic build produced different graphs")
+		}
+		if base.Fingerprint() != same.Fingerprint() {
+			t.Fatal("equal structures, different fingerprints")
+		}
+		same.Name = "renamed"
+		if base.Fingerprint() != same.Fingerprint() {
+			t.Fatal("fingerprint must ignore the graph name")
+		}
+
+		for _, mutated := range []*graph.Graph{
+			fuzzBuild(data, mutNode, mutDelta, false),
+			fuzzBuild(data, 0, 0, mutEdge),
+			fuzzBuild(data, mutNode, mutDelta, mutEdge),
+		} {
+			fpEqual := base.Fingerprint() == mutated.Fingerprint()
+			structEqual := structurallyEqual(base, mutated)
+			if fpEqual != structEqual {
+				t.Fatalf("fingerprint equality (%v) diverged from structural equality (%v)", fpEqual, structEqual)
+			}
+		}
+	})
+}
+
+// TestFingerprintZooCorpus pins the fingerprint ⇔ structure property on
+// the real model zoo: every pair of distinct zoo models must disagree, and
+// a serialization round trip must agree.
+func TestFingerprintZooCorpus(t *testing.T) {
+	names := models.Names()
+	fps := make(map[uint64]string, len(names))
+	for _, name := range names {
+		g, err := models.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := g.Fingerprint()
+		if prev, ok := fps[fp]; ok {
+			t.Fatalf("zoo fingerprint collision: %s and %s", prev, name)
+		}
+		fps[fp] = name
+
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := graph.ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.Fingerprint() != fp {
+			t.Fatalf("%s: fingerprint not serialization-stable", name)
+		}
+	}
+}

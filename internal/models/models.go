@@ -73,6 +73,20 @@ func Figure5Names() []string {
 	}
 }
 
+// LoadMany constructs several zoo graphs, failing on the first unknown
+// name. Callers that need the whole zoo pass Names() expanded.
+func LoadMany(names ...string) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, len(names))
+	for i, name := range names {
+		g, err := Load(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
 // Load constructs the named model's computational graph.
 func Load(name string) (*graph.Graph, error) {
 	gen, ok := generators[name]

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+	"respect/internal/sched"
+	"respect/internal/solver"
+)
+
+// maxBodyBytes bounds request bodies; the largest zoo graph serializes to
+// well under a megabyte, so 16 MiB leaves ample headroom for batches.
+const maxBodyBytes = 16 << 20
+
+// ScheduleRequest is the POST /v1/schedule body. Exactly one of Model
+// (a zoo name) and Graph (inline graph JSON, the WriteJSON wire format)
+// must be set.
+type ScheduleRequest struct {
+	Model    string          `json:"model,omitempty"`
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Stages   int             `json:"stages,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Backends []string        `json:"backends,omitempty"`
+}
+
+// CostJSON is a schedule objective on the wire.
+type CostJSON struct {
+	PeakParamBytes int64 `json:"peak_param_bytes"`
+	CrossBytes     int64 `json:"cross_bytes"`
+}
+
+func costJSON(c sched.Cost) CostJSON {
+	return CostJSON{PeakParamBytes: c.PeakParamBytes, CrossBytes: c.CrossBytes}
+}
+
+// OutcomeJSON is per-backend portfolio telemetry on the wire.
+type OutcomeJSON struct {
+	Backend   string    `json:"backend"`
+	Cost      *CostJSON `json:"cost,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Optimal   bool      `json:"optimal,omitempty"`
+	Winner    bool      `json:"winner,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+func outcomesJSON(outs []solver.Outcome) []OutcomeJSON {
+	res := make([]OutcomeJSON, len(outs))
+	for i, o := range outs {
+		res[i] = OutcomeJSON{
+			Backend:   o.Backend,
+			Truncated: o.Info.Truncated,
+			Optimal:   o.Info.OptimalityProven,
+			Winner:    o.Winner,
+			ElapsedMS: durMS(o.Elapsed),
+		}
+		if o.Err != nil {
+			res[i].Error = o.Err.Error()
+		} else {
+			c := costJSON(o.Cost)
+			res[i].Cost = &c
+		}
+	}
+	return res
+}
+
+// ScheduleResponse is the POST /v1/schedule result: a deployment-ready
+// stage assignment plus solver telemetry. Truncated is the honesty flag —
+// true means the budget expired mid-search and Stage is the best incumbent
+// found, not a full-effort result.
+type ScheduleResponse struct {
+	Graph     string        `json:"graph"`
+	Nodes     int           `json:"nodes"`
+	Stages    int           `json:"stages"`
+	Class     string        `json:"class"`
+	Backend   string        `json:"backend"`
+	Stage     []int         `json:"stage"`
+	Cost      CostJSON      `json:"cost"`
+	Truncated bool          `json:"truncated"`
+	CacheHit  bool          `json:"cache_hit"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Outcomes  []OutcomeJSON `json:"outcomes,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body: many graphs through one
+// backend's fingerprint cache with a bounded worker pool.
+type BatchRequest struct {
+	Models  []string          `json:"models,omitempty"`
+	Graphs  []json.RawMessage `json:"graphs,omitempty"`
+	Stages  int               `json:"stages,omitempty"`
+	Class   string            `json:"class,omitempty"`
+	Backend string            `json:"backend,omitempty"`
+	Jobs    int               `json:"jobs,omitempty"`
+}
+
+// BatchItemJSON is one graph's outcome within a batch response. Truncated
+// is the same honesty flag as on /v1/schedule: the budget cut this item's
+// solve and Stage is an incumbent.
+type BatchItemJSON struct {
+	Index     int       `json:"index"`
+	Graph     string    `json:"graph"`
+	Stage     []int     `json:"stage,omitempty"`
+	Cost      *CostJSON `json:"cost,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	CacheHit  bool      `json:"cache_hit"`
+	Truncated bool      `json:"truncated,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// BatchResponse is the POST /v1/batch result, items in input order.
+type BatchResponse struct {
+	Class     string          `json:"class"`
+	Backend   string          `json:"backend"`
+	Stages    int             `json:"stages"`
+	Count     int             `json:"count"`
+	Errors    int             `json:"errors"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Items     []BatchItemJSON `json:"items"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// BackendsResponse is the GET /v1/backends result.
+type BackendsResponse struct {
+	Backends []string                   `json:"backends"`
+	Models   []string                   `json:"models"`
+	Classes  map[string]ClassPolicyJSON `json:"classes"`
+}
+
+// ClassPolicyJSON is a class policy on the wire.
+type ClassPolicyJSON struct {
+	BudgetMS      float64  `json:"budget_ms"`
+	PatienceMS    float64  `json:"patience_ms,omitempty"`
+	Backends      []string `json:"backends"`
+	MaxConcurrent int      `json:"max_concurrent"`
+	MaxQueue      int      `json:"max_queue"`
+	Warm          bool     `json:"warm"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v) // the status line is out; nothing sane to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRejected maps an admission failure to 429 with a Retry-After hint
+// of one class budget (rounded up to a whole second, the header's unit).
+func writeRejected(w http.ResponseWriter, policy ClassPolicy, err error) {
+	retry := int(math.Ceil(policy.Budget.Seconds()))
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "%s", err.Error())
+}
+
+// decodeBody decodes a size-capped JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// resolveGraph materializes a request's graph: a zoo model by name (404
+// when unknown) or an inline graph document (400 when malformed).
+func resolveGraph(model string, raw json.RawMessage) (*graph.Graph, int, error) {
+	switch {
+	case model != "" && len(raw) > 0:
+		return nil, http.StatusBadRequest, errors.New("set model or graph, not both")
+	case model != "":
+		g, err := models.Load(model)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		return g, 0, nil
+	case len(raw) > 0:
+		g, err := graph.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if g.NumNodes() == 0 {
+			return nil, http.StatusBadRequest, errors.New("graph has no nodes")
+		}
+		return g, 0, nil
+	default:
+		return nil, http.StatusBadRequest, errors.New("one of model or graph is required")
+	}
+}
+
+// stages validates a requested stage count (0 means the server default).
+func (s *Server) stages(requested int) (int, error) {
+	if requested == 0 {
+		return s.cfg.Stages, nil
+	}
+	if requested < 1 || requested > maxStages {
+		return 0, fmt.Errorf("stages %d outside [1,%d]", requested, maxStages)
+	}
+	return requested, nil
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ScheduleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	class, st, err := s.class(req.Class, ClassInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
+		return
+	}
+	numStages, err := s.stages(req.Stages)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
+		return
+	}
+	g, code, err := resolveGraph(req.Model, req.Graph)
+	if err != nil {
+		writeError(w, code, "%s", err.Error())
+		return
+	}
+	var override []solver.Scheduler
+	if len(req.Backends) > 0 {
+		if override, err = solver.Resolve(req.Backends...); err != nil {
+			writeError(w, http.StatusBadRequest, "%s", err.Error())
+			return
+		}
+	}
+
+	// Admission: wait at most one class budget for a slot, then solve
+	// under a fresh budget. The solve context is also bound to the client
+	// connection, so abandoned requests cancel their backends.
+	admCtx, admCancel := context.WithTimeout(r.Context(), st.policy.Budget)
+	release, err := st.adm.acquire(admCtx)
+	admCancel()
+	if err != nil {
+		writeRejected(w, st.policy, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), st.policy.Budget)
+	defer cancel()
+	start := time.Now()
+	var (
+		res solver.PortfolioResult
+		hit bool
+	)
+	if override != nil {
+		pres, perr := solver.PortfolioOpt(ctx, override, g, numStages,
+			solver.PortfolioOptions{Patience: st.policy.Patience})
+		res, err = pres, perr
+	} else {
+		res, hit, err = st.engine.Run(ctx, g, numStages)
+	}
+	if err != nil {
+		// A budget/disconnect cut with no schedule at all is a timeout,
+		// not a client error: retrying (with a calmer class) can succeed.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		writeError(w, code, "no backend produced a schedule: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{
+		Graph:     g.Name,
+		Nodes:     g.NumNodes(),
+		Stages:    numStages,
+		Class:     string(class),
+		Backend:   res.Backend,
+		Stage:     res.Schedule.Stage,
+		Cost:      costJSON(res.Cost),
+		Truncated: res.Truncated,
+		CacheHit:  hit,
+		ElapsedMS: durMS(time.Since(start)),
+		Outcomes:  outcomesJSON(res.Outcomes),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	class, st, err := s.class(req.Class, ClassBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
+		return
+	}
+	numStages, err := s.stages(req.Stages)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
+		return
+	}
+	if len(req.Models)+len(req.Graphs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: set models and/or graphs")
+		return
+	}
+	graphs := make([]*graph.Graph, 0, len(req.Models)+len(req.Graphs))
+	for _, name := range req.Models {
+		g, code, err := resolveGraph(name, nil)
+		if err != nil {
+			writeError(w, code, "models[%q]: %s", name, err.Error())
+			return
+		}
+		graphs = append(graphs, g)
+	}
+	for i, raw := range req.Graphs {
+		g, code, err := resolveGraph("", raw)
+		if err != nil {
+			writeError(w, code, "graphs[%d]: %s", i, err.Error())
+			return
+		}
+		graphs = append(graphs, g)
+	}
+	backendName := req.Backend
+	if backendName == "" {
+		backendName = "heur"
+	}
+	cache, err := s.batchCache(backendName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
+		return
+	}
+	jobs := req.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > 32 {
+		jobs = 32
+	}
+
+	// One admission slot covers the whole batch; the class budget bounds
+	// the end-to-end run.
+	admCtx, admCancel := context.WithTimeout(r.Context(), st.policy.Budget)
+	release, err := st.adm.acquire(admCtx)
+	admCancel()
+	if err != nil {
+		writeRejected(w, st.policy, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), st.policy.Budget)
+	defer cancel()
+	start := time.Now()
+	results, _ := solver.Batch(ctx, cache, graphs, numStages, jobs)
+
+	resp := BatchResponse{
+		Class:     string(class),
+		Backend:   backendName,
+		Stages:    numStages,
+		Count:     len(results),
+		ElapsedMS: durMS(time.Since(start)),
+		Items:     make([]BatchItemJSON, len(results)),
+	}
+	for i, res := range results {
+		item := BatchItemJSON{
+			Index:     i,
+			Graph:     res.Graph.Name,
+			CacheHit:  res.CacheHit,
+			Truncated: res.Truncated,
+			ElapsedMS: durMS(res.Elapsed),
+		}
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+			resp.Errors++
+		} else {
+			item.Stage = res.Schedule.Stage
+			c := costJSON(res.Cost)
+			item.Cost = &c
+		}
+		resp.Items[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := BackendsResponse{
+		Backends: solver.Names(),
+		Models:   models.Names(),
+		Classes:  make(map[string]ClassPolicyJSON, len(s.classes)),
+	}
+	for class, st := range s.classes {
+		resp.Classes[string(class)] = ClassPolicyJSON{
+			BudgetMS:      durMS(st.policy.Budget),
+			PatienceMS:    durMS(st.policy.Patience),
+			Backends:      st.engine.Backends(),
+			MaxConcurrent: st.policy.MaxConcurrent,
+			MaxQueue:      st.policy.MaxQueue,
+			Warm:          st.policy.Warm,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,385 @@
+// Package serve is RESPECT's network scheduling service: an HTTP/JSON
+// front end over the internal/solver engine layer that turns
+// millisecond-scale schedule inference into a serving primitive.
+//
+// Requests carry a class (interactive, batch, best-effort) that maps to a
+// per-class latency budget and a backend portfolio: interactive traffic
+// races cached fast backends under a tight deadline, batch traffic is
+// allowed to include the exact solvers under a budget of seconds. An
+// admission controller enforces per-class concurrency limits and queue
+// depth, rejecting over-capacity work with 429 + Retry-After instead of
+// letting every request degrade. Schedules are memoized per class by graph
+// fingerprint, and the cache can be warmed from the model zoo so the first
+// request for a zoo model is already a hit.
+//
+// Endpoints:
+//
+//	POST /v1/schedule   one graph (zoo name or inline JSON) -> schedule
+//	POST /v1/batch      many graphs through one backend -> schedules
+//	GET  /v1/backends   registered backends, zoo models, class policies
+//	GET  /v1/stats      admission / cache / uptime counters
+//	GET  /healthz       liveness probe
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"respect/internal/models"
+	"respect/internal/solver"
+)
+
+// Class names a request service class; it selects the latency budget,
+// backend portfolio and admission limits applied to a request.
+type Class string
+
+// The built-in request classes.
+const (
+	// ClassInteractive is latency-sensitive traffic: fast cached backends
+	// under a tens-of-milliseconds budget.
+	ClassInteractive Class = "interactive"
+	// ClassBatch is throughput traffic: a portfolio including the exact
+	// solvers under a budget of seconds.
+	ClassBatch Class = "batch"
+	// ClassBestEffort is background work: the strongest solvers, few
+	// concurrent slots, a generous budget.
+	ClassBestEffort Class = "best-effort"
+)
+
+// ClassPolicy is the serving policy of one request class.
+type ClassPolicy struct {
+	// Budget bounds one request's scheduling time (context deadline).
+	// Anytime backends return budget-cut incumbents at expiry, flagged
+	// truncated in the response.
+	Budget time.Duration
+	// Patience bounds how long a request keeps waiting for slower
+	// portfolio members once the first valid schedule is in: after it
+	// elapses the stragglers are cancelled (anytime solvers hand back
+	// incumbents) and the request returns. Zero waits out the full
+	// Budget, which maximizes quality but holds an admission slot for
+	// the worst-case member on every cache miss.
+	Patience time.Duration
+	// Backends is the portfolio raced for this class (registry names).
+	Backends []string
+	// MaxConcurrent bounds simultaneously admitted requests.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for admission beyond MaxConcurrent;
+	// arrivals past the queue are rejected with 429.
+	MaxQueue int
+	// Warm marks the class's schedule cache for zoo warm-up.
+	Warm bool
+}
+
+// DefaultClasses returns the built-in class table: interactive (50 ms,
+// fast heuristics, warmed), batch (5 s, portfolio including exact) and
+// best-effort (30 s, strongest solvers, two slots).
+func DefaultClasses() map[Class]ClassPolicy {
+	return map[Class]ClassPolicy{
+		ClassInteractive: {
+			Budget:        50 * time.Millisecond,
+			Backends:      []string{"heur", "compiler"},
+			MaxConcurrent: 32,
+			MaxQueue:      64,
+			Warm:          true,
+		},
+		ClassBatch: {
+			Budget:        5 * time.Second,
+			Patience:      2 * time.Second,
+			Backends:      []string{"heur", "exact", "compiler"},
+			MaxConcurrent: 4,
+			MaxQueue:      16,
+		},
+		ClassBestEffort: {
+			Budget:        30 * time.Second,
+			Patience:      10 * time.Second,
+			Backends:      []string{"exact-ilp-grade", "anneal"},
+			MaxConcurrent: 2,
+			MaxQueue:      8,
+		},
+	}
+}
+
+// Config configures a scheduling service.
+type Config struct {
+	// Stages is the pipeline length used when a request omits stages
+	// (default 4).
+	Stages int
+	// CacheSize caps each per-class (and per-backend batch) schedule
+	// cache (default 512 entries).
+	CacheSize int
+	// Classes overrides the class table; nil uses DefaultClasses.
+	Classes map[Class]ClassPolicy
+	// WarmModels lists the zoo models pre-scheduled by WarmUp. nil warms
+	// the whole zoo; an empty non-nil slice disables warm-up.
+	WarmModels []string
+	// Logf, when set, receives service log lines (warm-up, shutdown).
+	Logf func(format string, args ...any)
+}
+
+// maxStages bounds requested pipeline lengths; real Coral deployments
+// pipeline a handful of Edge TPUs, so anything beyond this is a client
+// error rather than a capacity problem.
+const maxStages = 64
+
+// classState is one request class's runtime: its policy, admission
+// controller and memoizing portfolio engine.
+type classState struct {
+	policy ClassPolicy
+	adm    *admission
+	engine *solver.CachedPortfolio
+}
+
+// Server is the scheduling service. It implements http.Handler; construct
+// with New and mount anywhere (an http.Server, a test mux).
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	classes map[Class]*classState
+	start   time.Time
+
+	requests atomic.Uint64
+	warmed   atomic.Int64
+
+	batchCaches *solver.CacheSet
+}
+
+// New validates cfg (unknown backend names in class policies are rejected
+// eagerly) and returns a ready-to-mount service. Backends are resolved
+// dynamically per request, so registering an RL agent after New takes
+// effect immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.Stages == 0 {
+		cfg.Stages = 4
+	}
+	if cfg.Stages < 1 || cfg.Stages > maxStages {
+		return nil, fmt.Errorf("serve: default stages %d outside [1,%d]", cfg.Stages, maxStages)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 512
+	}
+	if cfg.Classes == nil {
+		cfg.Classes = DefaultClasses()
+	}
+	if len(cfg.WarmModels) > 0 {
+		known := make(map[string]bool)
+		for _, name := range models.Names() {
+			known[name] = true
+		}
+		for _, name := range cfg.WarmModels {
+			if !known[name] {
+				return nil, fmt.Errorf("serve: warm-up set: unknown model %q (have %v)", name, models.Names())
+			}
+		}
+	}
+
+	s := &Server{
+		cfg:         cfg,
+		classes:     make(map[Class]*classState, len(cfg.Classes)),
+		start:       time.Now(),
+		batchCaches: solver.NewCacheSet(solver.Default(), cfg.CacheSize),
+	}
+	for class, policy := range cfg.Classes {
+		if class == "" {
+			return nil, fmt.Errorf("serve: empty class name")
+		}
+		if policy.Budget <= 0 {
+			return nil, fmt.Errorf("serve: class %q: budget %v must be positive", class, policy.Budget)
+		}
+		if len(policy.Backends) == 0 {
+			return nil, fmt.Errorf("serve: class %q: no backends", class)
+		}
+		if policy.MaxConcurrent < 1 {
+			return nil, fmt.Errorf("serve: class %q: MaxConcurrent %d must be at least 1", class, policy.MaxConcurrent)
+		}
+		if policy.MaxQueue < 0 {
+			return nil, fmt.Errorf("serve: class %q: MaxQueue %d must not be negative", class, policy.MaxQueue)
+		}
+		backends := make([]solver.Scheduler, len(policy.Backends))
+		for i, name := range policy.Backends {
+			if _, err := solver.Lookup(name); err != nil {
+				return nil, fmt.Errorf("serve: class %q: %w", class, err)
+			}
+			backends[i] = solver.Dynamic(solver.Default(), name)
+		}
+		if policy.Patience < 0 {
+			return nil, fmt.Errorf("serve: class %q: Patience %v must not be negative", class, policy.Patience)
+		}
+		s.classes[class] = &classState{
+			policy: policy,
+			adm:    newAdmission(policy.MaxConcurrent, policy.MaxQueue),
+			engine: solver.NewCachedPortfolio(backends, cfg.CacheSize, solver.PortfolioOptions{Patience: policy.Patience}),
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/backends", s.handleBackends)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// class resolves a request's class string ("" defaults to fallback).
+func (s *Server) class(name string, fallback Class) (Class, *classState, error) {
+	c := Class(name)
+	if name == "" {
+		c = fallback
+	}
+	st, ok := s.classes[c]
+	if !ok {
+		have := make([]string, 0, len(s.classes))
+		for k := range s.classes {
+			have = append(have, string(k))
+		}
+		if name == "" {
+			return c, nil, fmt.Errorf("no class given and the default class %q is not configured (have %v)", c, have)
+		}
+		return c, nil, fmt.Errorf("unknown class %q (have %v)", name, have)
+	}
+	return c, st, nil
+}
+
+// batchCache returns the server-owned fingerprint cache wrapping one named
+// backend; the set's handles are dynamic, so agent re-registration takes
+// effect without invalidating unrelated backends.
+func (s *Server) batchCache(name string) (*solver.Cached, error) {
+	return s.batchCaches.For(name)
+}
+
+// WarmUp pre-schedules the configured zoo models (Config.WarmModels; the
+// whole zoo when nil) into every warm-marked class's cache, fanning solves
+// out concurrently. Solves run without per-request budgets so only
+// full-effort schedules are stored; bound the total with ctx. It returns
+// the number of memoized schedules and the first warm error, and is safe
+// to run while the server handles traffic.
+func (s *Server) WarmUp(ctx context.Context) (int, error) {
+	names := s.cfg.WarmModels
+	if names == nil {
+		names = models.Names()
+	}
+	anyWarm := false
+	for _, st := range s.classes {
+		anyWarm = anyWarm || st.policy.Warm
+	}
+	if len(names) == 0 || !anyWarm {
+		return 0, nil
+	}
+	graphs, err := models.LoadMany(names...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var firstErr error
+	for class, st := range s.classes {
+		if !st.policy.Warm {
+			continue
+		}
+		start := time.Now()
+		stored, err := st.engine.Warm(ctx, graphs, s.cfg.Stages, 0)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: warm-up class %q: %w", class, err)
+		}
+		total += stored
+		s.logf("warm-up: class %s: %d/%d schedules cached in %v", class, stored, len(graphs), time.Since(start).Round(time.Millisecond))
+	}
+	s.warmed.Store(int64(total))
+	return total, firstErr
+}
+
+// Run serves s on ln until ctx is cancelled, then shuts down gracefully:
+// in-flight requests drain (bounded by a 10 s grace period) and the
+// concurrent model-zoo warm-up is stopped and awaited before Run returns,
+// so no zoo solve outlives the service. Run owns ln. This is the shared
+// lifecycle behind respect.Serve and cmd/respect-serve.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	warmCtx, warmCancel := context.WithCancel(ctx)
+	defer warmCancel()
+	warmDone := make(chan struct{})
+	go func() {
+		defer close(warmDone)
+		if n, err := s.WarmUp(warmCtx); err != nil {
+			s.logf("warm-up: %v (after %d schedules)", err, n)
+		}
+	}()
+
+	httpSrv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("shutting down")
+	warmCancel()
+	<-warmDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-errc // Serve returned http.ErrServerClosed
+	return nil
+}
+
+// ClassStats is one class's admission and cache telemetry.
+type ClassStats struct {
+	Admitted             uint64 `json:"admitted"`
+	RejectedCapacity     uint64 `json:"rejected_capacity"`
+	RejectedQueueTimeout uint64 `json:"rejected_queue_timeout"`
+	Active               int    `json:"active"`
+	Queued               int    `json:"queued"`
+	CacheHits            uint64 `json:"cache_hits"`
+	CacheMisses          uint64 `json:"cache_misses"`
+	CacheLen             int    `json:"cache_len"`
+}
+
+// Stats is a point-in-time service telemetry snapshot.
+type Stats struct {
+	UptimeMS        float64               `json:"uptime_ms"`
+	Requests        uint64                `json:"requests"`
+	WarmedSchedules int64                 `json:"warmed_schedules"`
+	Classes         map[string]ClassStats `json:"classes"`
+}
+
+// Stats snapshots admission, cache and request counters.
+func (s *Server) Stats() Stats {
+	out := Stats{
+		UptimeMS:        float64(time.Since(s.start)) / float64(time.Millisecond),
+		Requests:        s.requests.Load(),
+		WarmedSchedules: s.warmed.Load(),
+		Classes:         make(map[string]ClassStats, len(s.classes)),
+	}
+	for class, st := range s.classes {
+		hits, misses := st.engine.Stats()
+		out.Classes[string(class)] = ClassStats{
+			Admitted:             st.adm.admitted.Load(),
+			RejectedCapacity:     st.adm.rejectedCapacity.Load(),
+			RejectedQueueTimeout: st.adm.rejectedTimeout.Load(),
+			Active:               st.adm.active(),
+			Queued:               st.adm.queued(),
+			CacheHits:            hits,
+			CacheMisses:          misses,
+			CacheLen:             st.engine.Len(),
+		}
+	}
+	return out
+}

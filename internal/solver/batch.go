@@ -26,6 +26,9 @@ type BatchResult struct {
 	// CacheHit reports that the schedule came from a Cached wrapper's
 	// fingerprint cache rather than a fresh solve.
 	CacheHit bool
+	// Truncated reports the backend ran out of budget and Schedule is an
+	// incumbent, not a full-effort result.
+	Truncated bool
 }
 
 // Batch schedules every graph on numStages stages with backend b through a
@@ -47,7 +50,7 @@ func Batch(ctx context.Context, b Scheduler, graphs []*graph.Graph, numStages, j
 	}
 
 	hitter, _ := b.(interface {
-		scheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, error)
+		ScheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, Info, error)
 	})
 
 	work := make(chan int)
@@ -61,11 +64,13 @@ func Batch(ctx context.Context, b Scheduler, graphs []*graph.Graph, numStages, j
 				r.Index = i
 				r.Graph = graphs[i]
 				start := time.Now()
+				var info Info
 				if hitter != nil {
-					r.Schedule, r.CacheHit, r.Err = hitter.scheduleTracked(ctx, graphs[i], numStages)
+					r.Schedule, r.CacheHit, info, r.Err = hitter.ScheduleTracked(ctx, graphs[i], numStages)
 				} else {
-					r.Schedule, r.Err = b.Schedule(ctx, graphs[i], numStages)
+					r.Schedule, info, r.Err = ScheduleInfo(ctx, b, graphs[i], numStages)
 				}
+				r.Truncated = info.Truncated
 				r.Elapsed = time.Since(start)
 				if r.Err == nil {
 					if verr := r.Schedule.Validate(graphs[i]); verr != nil {

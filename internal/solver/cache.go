@@ -3,11 +3,100 @@ package solver
 import (
 	"container/list"
 	"context"
+	"runtime"
 	"sync"
 
 	"respect/internal/graph"
 	"respect/internal/sched"
 )
+
+// cacheKey identifies one scheduling instance: the graph's structural
+// fingerprint plus the pipeline length.
+type cacheKey struct {
+	fp        uint64
+	numStages int
+}
+
+// lru is a concurrency-safe fixed-capacity LRU table keyed by cacheKey,
+// shared by the single-backend schedule cache (Cached) and the portfolio
+// result cache (CachedPortfolio). Values are opaque; callers own copy
+// semantics.
+type lru struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type lruEntry struct {
+	key cacheKey
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &lru{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached value for key, counting a hit or a miss.
+func (l *lru) get(key cacheKey) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		return el.Value.(*lruEntry).val, true
+	}
+	l.misses++
+	return nil, false
+}
+
+// contains reports whether key is cached without touching recency or stats.
+func (l *lru) contains(key cacheKey) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[key]
+	return ok
+}
+
+// put inserts or refreshes key, evicting the least recently used entries
+// beyond capacity.
+func (l *lru) put(key cacheKey, val any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry{key: key, val: val})
+	for l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (l *lru) stats() (hits, misses uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses
+}
+
+func (l *lru) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
 
 // Cached wraps a Scheduler with an LRU schedule cache keyed by graph
 // fingerprint (topology + per-node parameters) and stage count: repeated
@@ -17,37 +106,13 @@ import (
 // callers can never corrupt a cached schedule.
 type Cached struct {
 	inner Scheduler
-	cap   int
-
-	mu      sync.Mutex
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
-}
-
-type cacheKey struct {
-	fp        uint64
-	numStages int
-}
-
-type cacheEntry struct {
-	key cacheKey
-	s   sched.Schedule
+	lru   *lru
 }
 
 // NewCached wraps inner with a cache of at most capacity schedules
 // (capacity < 1 defaults to 256).
 func NewCached(inner Scheduler, capacity int) *Cached {
-	if capacity < 1 {
-		capacity = 256
-	}
-	return &Cached{
-		inner:   inner,
-		cap:     capacity,
-		entries: make(map[cacheKey]*list.Element),
-		order:   list.New(),
-	}
+	return &Cached{inner: inner, lru: newLRU(capacity)}
 }
 
 // Name implements Scheduler: a Cached backend is transparent, carrying its
@@ -56,65 +121,168 @@ func (c *Cached) Name() string { return c.inner.Name() }
 
 // Schedule implements Scheduler.
 func (c *Cached) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
-	s, _, err := c.scheduleTracked(ctx, g, numStages)
+	s, _, _, err := c.ScheduleTracked(ctx, g, numStages)
 	return s, err
 }
 
-// scheduleTracked is Schedule plus a cache-hit flag; the Batch engine
-// detects it through an unexported interface to surface per-item hits.
-func (c *Cached) scheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, error) {
+// ScheduleTracked is Schedule plus cache telemetry: hit reports whether the
+// schedule came from the cache, and info carries the backend's honesty
+// metadata (truncation / optimality) for fresh solves. Cache hits report a
+// zero Info — only full-effort results are ever stored.
+func (c *Cached) ScheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (s sched.Schedule, hit bool, info Info, err error) {
 	key := cacheKey{fp: g.Fingerprint(), numStages: numStages}
-
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		s := el.Value.(*cacheEntry).s.Clone()
-		c.hits++
-		c.mu.Unlock()
-		return s, true, nil
+	if v, ok := c.lru.get(key); ok {
+		return v.(sched.Schedule).Clone(), true, Info{}, nil
 	}
-	c.misses++
-	c.mu.Unlock()
 
 	// Solve outside the lock: a slow backend must not serialize unrelated
 	// cache traffic. Concurrent misses on one key may race the solve; the
 	// last finisher's (equivalent) schedule wins.
-	s, info, err := ScheduleInfo(ctx, c.inner, g, numStages)
+	s, info, err = ScheduleInfo(ctx, c.inner, g, numStages)
 	if err != nil {
-		return sched.Schedule{}, false, err
+		return sched.Schedule{}, false, info, err
 	}
 	if info.Truncated || ctx.Err() != nil {
 		// A budget-cut incumbent is only as good as this call's deadline;
 		// caching it would poison every later caller with a looser budget.
-		return s, false, nil
+		return s, false, info, nil
 	}
+	c.lru.put(key, s.Clone())
+	return s, false, info, nil
+}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).s = s.Clone()
-	} else {
-		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, s: s.Clone()})
-		for c.order.Len() > c.cap {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+// Contains reports whether a full-effort schedule for (g, numStages) is
+// cached, without counting toward hit/miss statistics.
+func (c *Cached) Contains(g *graph.Graph, numStages int) bool {
+	return c.lru.contains(cacheKey{fp: g.Fingerprint(), numStages: numStages})
+}
+
+// Warm populates the cache for every graph through a bounded pool of jobs
+// workers (jobs < 1 defaults to GOMAXPROCS) and returns how many instances
+// are cached afterwards. Warming is best-effort: graphs whose solve was
+// truncated by ctx are skipped rather than stored, failures don't stop the
+// remaining warms, and the first backend error is returned at the end.
+func (c *Cached) Warm(ctx context.Context, graphs []*graph.Graph, numStages, jobs int) (stored int, err error) {
+	return warm(ctx, graphs, jobs,
+		func(ctx context.Context, g *graph.Graph) error {
+			_, _, _, err := c.ScheduleTracked(ctx, g, numStages)
+			return err
+		},
+		func(g *graph.Graph) bool { return c.Contains(g, numStages) })
+}
+
+// warm fans solve out over graphs with a bounded worker pool, then counts
+// the distinct instances that ended up cached — duplicate graphs in the
+// warm set and LRU evictions by later warms must not inflate the count.
+// Used by both Cached.Warm and CachedPortfolio.Warm.
+func warm(ctx context.Context, graphs []*graph.Graph, jobs int, solve func(ctx context.Context, g *graph.Graph) error, contains func(g *graph.Graph) bool) (int, error) {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(graphs) {
+		jobs = len(graphs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan *graph.Graph)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				if err := solve(ctx, g); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for _, g := range graphs {
+		select {
+		case work <- g:
+		case <-ctx.Done():
+			break feed
 		}
 	}
-	return s, false, nil
+	close(work)
+	wg.Wait()
+
+	stored := 0
+	seen := make(map[uint64]bool, len(graphs))
+	for _, g := range graphs {
+		if fp := g.Fingerprint(); !seen[fp] {
+			seen[fp] = true
+			if contains(g) {
+				stored++
+			}
+		}
+	}
+	return stored, firstErr
 }
 
 // Stats returns cumulative cache hits and misses.
-func (c *Cached) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *Cached) Stats() (hits, misses uint64) { return c.lru.stats() }
 
 // Len returns the number of cached schedules.
-func (c *Cached) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+func (c *Cached) Len() int { return c.lru.len() }
+
+// CacheSet lazily maintains one fingerprint-keyed Cached per backend name,
+// resolved dynamically from a registry — the shared engine behind the
+// public ScheduleWith/ScheduleBatch cache and the serving layer's batch
+// endpoint. Replacing a backend registration (agent reload) takes effect
+// immediately without invalidating unrelated backends' caches.
+type CacheSet struct {
+	r   *Registry
+	cap int
+
+	mu sync.Mutex
+	m  map[string]*Cached
+}
+
+// NewCacheSet builds a cache set over r with the given per-backend
+// capacity (capacity < 1 defaults to 256).
+func NewCacheSet(r *Registry, capacity int) *CacheSet {
+	return &CacheSet{r: r, cap: capacity, m: make(map[string]*Cached)}
+}
+
+// For returns the cache wrapping the named backend, creating it on first
+// use; unknown names error eagerly.
+func (cs *CacheSet) For(name string) (*Cached, error) {
+	if _, err := cs.r.Lookup(name); err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if c, ok := cs.m[name]; ok {
+		return c, nil
+	}
+	c := NewCached(Dynamic(cs.r, name), cs.cap)
+	cs.m[name] = c
+	return c, nil
+}
+
+// Stats reports cumulative hits and misses for one backend name (zeros
+// when that backend was never used through the set).
+func (cs *CacheSet) Stats(name string) (hits, misses uint64) {
+	cs.mu.Lock()
+	c, ok := cs.m[name]
+	cs.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return c.Stats()
+}
+
+// Reset drops every cached schedule for every backend.
+func (cs *CacheSet) Reset() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.m = make(map[string]*Cached)
 }

@@ -20,6 +20,9 @@ type Outcome struct {
 	// Err is the backend's failure (including ctx cancellation when the
 	// backend was cancelled as a loser before producing a schedule).
 	Err error
+	// Info is the backend's honesty metadata (truncation / optimality
+	// proof) when it reports any; zero for plain backends.
+	Info Info
 	// Elapsed is the backend's wall-clock solve time.
 	Elapsed time.Duration
 	// Winner marks the backend whose schedule the portfolio returned.
@@ -34,6 +37,12 @@ type PortfolioResult struct {
 	Cost sched.Cost
 	// Backend names the winner.
 	Backend string
+	// Truncated reports the returned schedule is a budget-cut incumbent:
+	// the winning backend ran out of budget mid-search. A full-effort
+	// winner is not truncated even when slower members were cut by the
+	// deadline (their Outcomes record that). Honest callers must surface
+	// this flag rather than presenting the schedule as full-effort.
+	Truncated bool
 	// Outcomes reports every raced backend, in input order.
 	Outcomes []Outcome
 }
@@ -75,8 +84,8 @@ func PortfolioOpt(ctx context.Context, backends []Scheduler, g *graph.Graph, num
 	for i, b := range backends {
 		go func(i int, b Scheduler) {
 			start := time.Now()
-			s, err := b.Schedule(raceCtx, g, numStages)
-			out := Outcome{Backend: b.Name(), Elapsed: time.Since(start), Err: err}
+			s, info, err := ScheduleInfo(raceCtx, b, g, numStages)
+			out := Outcome{Backend: b.Name(), Elapsed: time.Since(start), Err: err, Info: info}
 			if err == nil {
 				if verr := s.Validate(g); verr != nil {
 					out.Err = fmt.Errorf("solver: backend %q returned an invalid schedule: %w", b.Name(), verr)
@@ -128,6 +137,7 @@ func PortfolioOpt(ctx context.Context, backends []Scheduler, g *graph.Graph, num
 	res.Schedule = res.Outcomes[best].Schedule
 	res.Cost = res.Outcomes[best].Cost
 	res.Backend = res.Outcomes[best].Backend
+	res.Truncated = res.Outcomes[best].Info.Truncated
 	return res, nil
 }
 
@@ -139,6 +149,93 @@ func firstErr(outs []Outcome) error {
 	}
 	return errors.New("no error recorded")
 }
+
+// CachedPortfolio memoizes portfolio races by graph fingerprint and stage
+// count, preserving per-backend telemetry. A hit returns the stored race
+// result in O(1) (with a defensively copied schedule); a miss races the
+// backends and stores the result unless it was budget-truncated — a cut
+// incumbent is only as good as the call's deadline and must not shadow a
+// later full-effort race. This is the serving layer's per-request-class
+// engine: one CachedPortfolio per class, warmed from the model zoo.
+type CachedPortfolio struct {
+	backends []Scheduler
+	opts     PortfolioOptions
+	lru      *lru
+}
+
+// NewCachedPortfolio builds a cached race over backends with at most
+// capacity memoized results (capacity < 1 defaults to 256).
+func NewCachedPortfolio(backends []Scheduler, capacity int, opts PortfolioOptions) *CachedPortfolio {
+	return &CachedPortfolio{backends: backends, lru: newLRU(capacity), opts: opts}
+}
+
+// Backends returns the raced backend names, in race order.
+func (p *CachedPortfolio) Backends() []string {
+	names := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// Run races the portfolio on (g, numStages), serving memoized results when
+// available. hit reports a cache hit; on a hit the Outcomes telemetry
+// (elapsed times, per-backend costs) is that of the original race and the
+// result is shared — callers must treat Outcomes as read-only.
+func (p *CachedPortfolio) Run(ctx context.Context, g *graph.Graph, numStages int) (res PortfolioResult, hit bool, err error) {
+	key := cacheKey{fp: g.Fingerprint(), numStages: numStages}
+	if v, ok := p.lru.get(key); ok {
+		res = v.(PortfolioResult)
+		res.Schedule = res.Schedule.Clone()
+		return res, true, nil
+	}
+	res, err = PortfolioOpt(ctx, p.backends, g, numStages, p.opts)
+	if err != nil {
+		return res, false, err
+	}
+	if res.Truncated {
+		// A budget-cut incumbent must not shadow a later full-effort race.
+		// A full-effort winner IS stored even when slower members were cut:
+		// the memoized result means "best found within one race budget".
+		return res, false, nil
+	}
+	stored := res
+	stored.Schedule = res.Schedule.Clone()
+	// Drop every per-outcome schedule: telemetry (cost, elapsed, error)
+	// stays, the winner's assignment lives in stored.Schedule, and nothing
+	// in the cache aliases a schedule the miss caller may mutate.
+	stored.Outcomes = append([]Outcome(nil), res.Outcomes...)
+	for i := range stored.Outcomes {
+		stored.Outcomes[i].Schedule = sched.Schedule{}
+	}
+	p.lru.put(key, stored)
+	return res, false, nil
+}
+
+// Contains reports whether a full-effort race for (g, numStages) is
+// memoized, without counting toward hit/miss statistics.
+func (p *CachedPortfolio) Contains(g *graph.Graph, numStages int) bool {
+	return p.lru.contains(cacheKey{fp: g.Fingerprint(), numStages: numStages})
+}
+
+// Warm races the portfolio over every graph through a bounded worker pool
+// (jobs < 1 defaults to GOMAXPROCS), returning how many instances are
+// memoized afterwards. Best-effort, like Cached.Warm: truncated races are
+// skipped and the first error is reported after all warms ran.
+func (p *CachedPortfolio) Warm(ctx context.Context, graphs []*graph.Graph, numStages, jobs int) (stored int, err error) {
+	return warm(ctx, graphs, jobs,
+		func(ctx context.Context, g *graph.Graph) error {
+			_, _, err := p.Run(ctx, g, numStages)
+			return err
+		},
+		func(g *graph.Graph) bool { return p.Contains(g, numStages) })
+}
+
+// Stats returns cumulative cache hits and misses.
+func (p *CachedPortfolio) Stats() (hits, misses uint64) { return p.lru.stats() }
+
+// Len returns the number of memoized races.
+func (p *CachedPortfolio) Len() int { return p.lru.len() }
 
 // PortfolioScheduler wraps a fixed backend set as a Scheduler, so a
 // portfolio composes with the Batch engine and the schedule cache like any

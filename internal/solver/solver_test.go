@@ -383,7 +383,7 @@ func TestCachedRefusesTruncatedIncumbents(t *testing.T) {
 	g := chain(5, 5)
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
-		if _, hit, err := c.scheduleTracked(ctx, g, 2); err != nil || hit {
+		if _, hit, _, err := c.ScheduleTracked(ctx, g, 2); err != nil || hit {
 			t.Fatalf("call %d: hit=%v err=%v; truncated incumbents must never be cached", i, hit, err)
 		}
 	}
@@ -398,7 +398,7 @@ func TestCachedRefusesTruncatedIncumbents(t *testing.T) {
 	}), 8)
 	expired, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c2.scheduleTracked(expired, g, 2); err != nil {
+	if _, _, _, err := c2.ScheduleTracked(expired, g, 2); err != nil {
 		t.Fatal(err)
 	}
 	if c2.Len() != 0 {

@@ -23,7 +23,7 @@ package respect
 import (
 	"context"
 	"fmt"
-	"sync"
+	"net"
 	"time"
 
 	"respect/internal/compiler"
@@ -35,6 +35,7 @@ import (
 	"respect/internal/ptrnet"
 	"respect/internal/rl"
 	"respect/internal/sched"
+	"respect/internal/serve"
 	"respect/internal/solver"
 	"respect/internal/synth"
 	"respect/internal/tpu"
@@ -346,41 +347,63 @@ func ScheduleWith(ctx context.Context, backendName string, g *Graph, numStages i
 // scheduleCaches holds one fingerprint-keyed LRU per backend name. The
 // inner scheduler is resolved from the registry at call time, so replacing
 // a backend (agent reload) takes effect immediately.
-var (
-	scheduleCacheMu sync.Mutex
-	scheduleCaches  = map[string]*solver.Cached{}
-)
+var scheduleCaches = solver.NewCacheSet(solver.Default(), 256)
 
 func cachedBackend(name string) (*solver.Cached, error) {
-	// Validate the name eagerly for a prompt error.
-	if _, err := solver.Lookup(name); err != nil {
-		return nil, err
-	}
-	scheduleCacheMu.Lock()
-	defer scheduleCacheMu.Unlock()
-	if c, ok := scheduleCaches[name]; ok {
-		return c, nil
-	}
-	c := solver.NewCached(solver.Dynamic(solver.Default(), name), 256)
-	scheduleCaches[name] = c
-	return c, nil
+	return scheduleCaches.For(name)
 }
 
 // ScheduleCacheStats reports cumulative schedule-cache hits and misses for
 // one backend name.
 func ScheduleCacheStats(backendName string) (hits, misses uint64) {
-	scheduleCacheMu.Lock()
-	c, ok := scheduleCaches[backendName]
-	scheduleCacheMu.Unlock()
-	if !ok {
-		return 0, 0
-	}
-	return c.Stats()
+	return scheduleCaches.Stats(backendName)
 }
 
 // ResetScheduleCache drops every cached schedule (all backends).
-func ResetScheduleCache() {
-	scheduleCacheMu.Lock()
-	defer scheduleCacheMu.Unlock()
-	scheduleCaches = map[string]*solver.Cached{}
+func ResetScheduleCache() { scheduleCaches.Reset() }
+
+// ---- Scheduling service ----
+
+// Serving types (see internal/serve for the full API): a Server exposes
+// POST /v1/schedule, POST /v1/batch, GET /v1/backends and GET /v1/stats,
+// with per-request-class latency budgets and admission control.
+type (
+	// ServeConfig configures the scheduling service.
+	ServeConfig = serve.Config
+	// ServeClass names a request service class.
+	ServeClass = serve.Class
+	// ServeClassPolicy is one class's budget / portfolio / admission policy.
+	ServeClassPolicy = serve.ClassPolicy
+	// Server is the HTTP scheduling service (an http.Handler).
+	Server = serve.Server
+	// ServerStats is a point-in-time service telemetry snapshot.
+	ServerStats = serve.Stats
+)
+
+// Default request classes of the scheduling service.
+const (
+	ServeInteractive = serve.ClassInteractive
+	ServeBatchClass  = serve.ClassBatch
+	ServeBestEffort  = serve.ClassBestEffort
+)
+
+// NewServer builds the HTTP scheduling service. Mount it on any mux or
+// http.Server; call WarmUp to pre-schedule the model zoo into the caches.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Serve runs the scheduling service on addr until ctx is cancelled, then
+// shuts down gracefully (in-flight requests drain, the concurrent
+// model-zoo warm-up is stopped and awaited). For a custom lifecycle
+// (picking the bound port, readiness probes) use NewServer with your own
+// listener and Server.Run, as cmd/respect-serve does.
+func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.Run(ctx, ln)
 }
