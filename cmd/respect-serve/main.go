@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,6 +57,23 @@ func splitNames(list string) []string {
 	return out
 }
 
+// parseBuckets parses -metrics-buckets: comma-separated positive seconds
+// ("" keeps the server defaults).
+func parseBuckets(list string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitNames(list) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-buckets: bad bound %q: %w", p, err)
+		}
+		if v <= 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("-metrics-buckets: bound %v must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // run is the whole binary behind a cancellable context and an injected
 // stdout, so the smoke tests can drive startup and shutdown in-process.
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -81,6 +100,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		batchConc   = fs.Int("batch-concurrency", db.MaxConcurrent, "batch class concurrent-request limit")
 		beConc      = fs.Int("best-effort-concurrency", de.MaxConcurrent, "best-effort class concurrent-request limit")
 		queueDepth  = fs.Int("queue-depth", 0, "override every class's admission queue depth (0 keeps per-class defaults)")
+		metricsOn   = fs.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
+		buckets     = fs.String("metrics-buckets", "", "latency histogram bucket bounds in seconds, comma-separated (empty keeps the defaults, 5ms..10s)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -129,10 +150,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		classes[class] = p
 	}
 
+	latencyBuckets, err := parseBuckets(*buckets)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
-		Stages:    *stages,
-		CacheSize: *cacheSize,
-		Classes:   classes,
+		Stages:         *stages,
+		CacheSize:      *cacheSize,
+		Classes:        classes,
+		LatencyBuckets: latencyBuckets,
+		DisableMetrics: !*metricsOn,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},

@@ -105,6 +105,93 @@ func TestRunStartupShutdown(t *testing.T) {
 	}
 }
 
+// startServe boots run() with the given extra flags on an ephemeral port
+// and returns the base URL plus the shutdown plumbing.
+func startServe(t *testing.T, extra ...string) (base string, out *syncBuffer, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	done = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-warm", "none"}, extra...)
+	go func() { done <- run(ctx, args, out) }()
+	deadline := time.Now().Add(15 * time.Second)
+	for base == "" && time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		cancelCtx()
+		t.Fatalf("no listening line; output: %s", out.String())
+	}
+	return base, out, cancelCtx, done
+}
+
+// TestRunMetricsFlags covers the observability flags: custom histogram
+// buckets show up on the exposition page, and -metrics=false unmounts the
+// endpoint entirely.
+func TestRunMetricsFlags(t *testing.T) {
+	base, _, cancel, done := startServe(t, "-metrics-buckets", "0.002,0.2")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet","stages":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	for _, want := range []string{
+		`le="0.002"`,
+		`respect_admission_requests_total{class="interactive",result="admitted"} 1`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, page)
+		}
+	}
+	if strings.Contains(string(page), `le="0.005"`) {
+		t.Fatalf("default buckets leaked through -metrics-buckets:\n%s", page)
+	}
+
+	// Bad bucket lists are flag errors, not panics.
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-metrics-buckets", "abc"}, &out); err == nil {
+		t.Fatal("want bucket parse error")
+	}
+	if err := run(context.Background(), []string{"-metrics-buckets", "-1"}, &out); err == nil {
+		t.Fatal("want negative bucket error")
+	}
+	if err := run(context.Background(), []string{"-metrics-buckets", "NaN"}, &out); err == nil {
+		t.Fatal("want NaN bucket error")
+	}
+}
+
+func TestRunMetricsDisabled(t *testing.T) {
+	base, _, cancel, done := startServe(t, "-metrics=false")
+	defer func() { cancel(); <-done }()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("-metrics=false /metrics: %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestRunWarmSetAndFlagErrors covers the warm-set plumbing and flag
 // validation without binding a real port twice.
 func TestRunWarmSetAndFlagErrors(t *testing.T) {

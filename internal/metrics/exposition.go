@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition
+// format v0.0.4, served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format v0.0.4: families sorted by name, each preceded by its
+// HELP and TYPE lines, series sorted by label values, histograms expanded
+// into cumulative _bucket/_sum/_count samples.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+		for _, s := range f.snapshot() {
+			if f.kind == histogramKind {
+				writeHistogram(bw, f, s.histogram, s.labelValues)
+				continue
+			}
+			bw.WriteString(f.name + labelString(f.labels, s.labelValues, "", "") +
+				" " + formatValue(s.value()) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative le-labeled
+// buckets (ending with +Inf), then _sum and _count.
+func writeHistogram(w *bufio.Writer, f *family, h *Histogram, values []string) {
+	cum := uint64(0)
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		w.WriteString(f.name + "_bucket" + labelString(f.labels, values, "le", formatValue(upper)) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	cum += h.counts[len(h.upper)].Load()
+	w.WriteString(f.name + "_bucket" + labelString(f.labels, values, "le", "+Inf") +
+		" " + strconv.FormatUint(cum, 10) + "\n")
+	w.WriteString(f.name + "_sum" + labelString(f.labels, values, "", "") +
+		" " + formatValue(h.Sum()) + "\n")
+	w.WriteString(f.name + "_count" + labelString(f.labels, values, "", "") +
+		" " + strconv.FormatUint(h.count.Load(), 10) + "\n")
+}
+
+// labelString renders a {k="v",...} label block in declared label order,
+// with an optional extra trailing label (the histogram le). Returns ""
+// when there are no labels at all.
+func labelString(labels, values []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value; integral values come out without an
+// exponent or decimal point, as Prometheus emits them.
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	var b bytes.Buffer
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes backslashes, double quotes and newlines in label
+// values.
+func escapeLabel(s string) string {
+	var b bytes.Buffer
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry's exposition page
+// (GET/HEAD; anything else is 405).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write(buf.Bytes())
+	})
+}

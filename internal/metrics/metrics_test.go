@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape renders the registry and returns the exposition page split into
+// lines for assertion.
+func scrape(t *testing.T, r *Registry) []string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+}
+
+func mustContain(t *testing.T, lines []string, want string) {
+	t.Helper()
+	for _, l := range lines {
+		if l == want {
+			return
+		}
+	}
+	t.Fatalf("exposition missing line %q in:\n%s", want, strings.Join(lines, "\n"))
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %v, want 3", c.Value())
+	}
+	g := r.Gauge("test_temperature", "Current temperature.")
+	g.Set(20)
+	g.Add(-2.5)
+	if g.Value() != 17.5 {
+		t.Fatalf("gauge = %v, want 17.5", g.Value())
+	}
+
+	lines := scrape(t, r)
+	mustContain(t, lines, "# HELP test_requests_total Total requests.")
+	mustContain(t, lines, "# TYPE test_requests_total counter")
+	mustContain(t, lines, "test_requests_total 3")
+	mustContain(t, lines, "# TYPE test_temperature gauge")
+	mustContain(t, lines, "test_temperature 17.5")
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_ops_total", "Ops.", "class", "op")
+	v.With("interactive", "hit").Add(4)
+	v.With("interactive", "miss").Inc()
+	if got := v.With("interactive", "hit").Value(); got != 4 {
+		t.Fatalf("same labels must return the same counter, got %v", got)
+	}
+	lines := scrape(t, r)
+	mustContain(t, lines, `test_ops_total{class="interactive",op="hit"} 4`)
+	mustContain(t, lines, `test_ops_total{class="interactive",op="miss"} 1`)
+}
+
+func TestFuncBackedSeries(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.GaugeFunc("test_live", "Live value.", func() float64 { return n })
+	v := r.CounterVec("test_admitted_total", "Admitted.", "class")
+	v.Func(func() float64 { return n * 2 }, "batch")
+	lines := scrape(t, r)
+	mustContain(t, lines, "test_live 7")
+	mustContain(t, lines, `test_admitted_total{class="batch"} 14`)
+
+	n = 9 // scrape-time read: the next page reflects the new value
+	lines = scrape(t, r)
+	mustContain(t, lines, "test_live 9")
+	mustContain(t, lines, `test_admitted_total{class="batch"} 18`)
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-2.45) > 1e-9 {
+		t.Fatalf("sum = %v, want 2.45", h.Sum())
+	}
+	lines := scrape(t, r)
+	// Buckets are cumulative; 0.1 lands in le="0.1" (le is inclusive).
+	mustContain(t, lines, `test_latency_seconds_bucket{le="0.1"} 2`)
+	mustContain(t, lines, `test_latency_seconds_bucket{le="0.5"} 3`)
+	mustContain(t, lines, `test_latency_seconds_bucket{le="1"} 3`)
+	mustContain(t, lines, `test_latency_seconds_bucket{le="+Inf"} 4`)
+	mustContain(t, lines, `test_latency_seconds_count 4`)
+}
+
+func TestHistogramVecSharedBuckets(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_req_seconds", "Req.", []float64{1, 2}, "class")
+	v.With("a").Observe(0.5)
+	v.With("b").Observe(3)
+	lines := scrape(t, r)
+	mustContain(t, lines, `test_req_seconds_bucket{class="a",le="1"} 1`)
+	mustContain(t, lines, `test_req_seconds_bucket{class="b",le="2"} 0`)
+	mustContain(t, lines, `test_req_seconds_bucket{class="b",le="+Inf"} 1`)
+}
+
+func TestBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, duplicated, with an explicit +Inf: all normalized.
+	h := r.Histogram("test_norm", "n", []float64{2, 1, 2, math.Inf(1)})
+	h.Observe(1.5)
+	lines := scrape(t, r)
+	mustContain(t, lines, `test_norm_bucket{le="1"} 0`)
+	mustContain(t, lines, `test_norm_bucket{le="2"} 1`)
+	mustContain(t, lines, `test_norm_bucket{le="+Inf"} 1`)
+
+	// Empty buckets fall back to the defaults.
+	h2 := NewRegistry().Histogram("test_def", "d", nil)
+	if len(h2.upper) != len(DefBuckets()) {
+		t.Fatalf("default buckets not applied: %v", h2.upper)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_esc_total", `Help with \ backslash`, "path")
+	v.With(`a"b\c` + "\n").Inc()
+	lines := scrape(t, r)
+	mustContain(t, lines, `# HELP test_esc_total Help with \\ backslash`)
+	mustContain(t, lines, `test_esc_total{path="a\"b\\c\n"} 1`)
+}
+
+func TestInvalidAndDuplicateNamesPanic(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	expectPanic("invalid metric name", func() { r.Counter("9bad", "") })
+	expectPanic("invalid label name", func() { r.CounterVec("test_ok_total", "", "bad-label") })
+	r.Counter("test_dup_total", "")
+	expectPanic("duplicate name", func() { r.Counter("test_dup_total", "") })
+	v := r.CounterVec("test_lv_total", "", "a", "b")
+	expectPanic("wrong label count", func() { v.With("only-one") })
+	expectPanic("counter decrease", func() { v.With("x", "y").Add(-1) })
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	h := r.HistogramVec("test_conc_seconds", "", []float64{0.5}, "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.With("shared").Observe(float64(i%2) * 0.7)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.With("shared").Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.With("shared").Count())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_h_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
+	}
+	post, err := srv.Client().Post(srv.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status %d, want 405", post.StatusCode)
+	}
+}

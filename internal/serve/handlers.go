@@ -18,19 +18,33 @@ import (
 	"respect/internal/solver"
 )
 
-// maxBodyBytes bounds request bodies; the largest zoo graph serializes to
-// well under a megabyte, so 16 MiB leaves ample headroom for batches.
-const maxBodyBytes = 16 << 20
+// defaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is
+// unset; the largest zoo graph serializes to well under a megabyte, so
+// 16 MiB leaves ample headroom for batches.
+const defaultMaxBodyBytes = 16 << 20
+
+// Request outcome labels on the respect_request_duration_seconds
+// histogram. Every request that resolved to a class is observed exactly
+// once under one of these.
+const (
+	outcomeOK               = "ok"                // 200 with a schedule
+	outcomeInvalid          = "invalid"           // 4xx request validation after class resolution
+	outcomeError            = "error"             // 422: every backend failed
+	outcomeTimeout          = "timeout"           // 504: budget expired with no schedule at all
+	outcomeRejectedCapacity = "rejected_capacity" // 429: admission queue full
+	outcomeRejectedTimeout  = "rejected_timeout"  // 429: budget spent waiting in the queue
+)
 
 // ScheduleRequest is the POST /v1/schedule body. Exactly one of Model
 // (a zoo name) and Graph (inline graph JSON, the WriteJSON wire format)
-// must be set.
+// must be set. Trace opts into a per-request timeline in the response.
 type ScheduleRequest struct {
 	Model    string          `json:"model,omitempty"`
 	Graph    json.RawMessage `json:"graph,omitempty"`
 	Stages   int             `json:"stages,omitempty"`
 	Class    string          `json:"class,omitempty"`
 	Backends []string        `json:"backends,omitempty"`
+	Trace    bool            `json:"trace,omitempty"`
 }
 
 // CostJSON is a schedule objective on the wire.
@@ -77,7 +91,8 @@ func outcomesJSON(outs []solver.Outcome) []OutcomeJSON {
 // ScheduleResponse is the POST /v1/schedule result: a deployment-ready
 // stage assignment plus solver telemetry. Truncated is the honesty flag —
 // true means the budget expired mid-search and Stage is the best incumbent
-// found, not a full-effort result.
+// found, not a full-effort result. Trace is present only when the request
+// set "trace": true.
 type ScheduleResponse struct {
 	Graph     string        `json:"graph"`
 	Nodes     int           `json:"nodes"`
@@ -90,6 +105,77 @@ type ScheduleResponse struct {
 	CacheHit  bool          `json:"cache_hit"`
 	ElapsedMS float64       `json:"elapsed_ms"`
 	Outcomes  []OutcomeJSON `json:"outcomes,omitempty"`
+	Trace     *TraceJSON    `json:"trace,omitempty"`
+}
+
+// TraceJSON is one request's structured timeline: queue wait, the cache
+// consult, the solve window, and each raced backend placed on it. The
+// same measurements feed the latency histograms on /metrics, so a trace
+// can never disagree with the aggregate view.
+type TraceJSON struct {
+	// QueueWaitMS is the time spent waiting for admission.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Cache is the per-class memo consult: "hit", "miss", or "bypass"
+	// (the request overrode the portfolio, skipping the cache).
+	Cache string `json:"cache"`
+	// SolveMS is the solve window (cache lookup + race when it missed).
+	SolveMS float64 `json:"solve_ms"`
+	// TotalMS is the whole request, admission wait included; this exact
+	// value is what the request-duration histogram observed.
+	TotalMS float64 `json:"total_ms"`
+	// Backends is the per-backend timeline of the race this request ran;
+	// empty on cache hits (no race ran).
+	Backends []TraceBackendJSON `json:"backends,omitempty"`
+}
+
+// TraceBackendJSON places one raced backend on the request timeline.
+// Offsets are relative to the start of the solve window.
+type TraceBackendJSON struct {
+	Backend string `json:"backend"`
+	// StartMS/FinishMS bound the backend's run within the solve window.
+	StartMS  float64 `json:"start_ms"`
+	FinishMS float64 `json:"finish_ms"`
+	// Outcome is "winner", "ok" (valid schedule, lost), "cancelled"
+	// (lost the race before finishing) or "error".
+	Outcome string `json:"outcome"`
+	// Truncated marks a budget-cut incumbent.
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// traceJSON assembles the response timeline from the same measurements
+// the histograms observed.
+func traceJSON(queueWait, solve, total time.Duration, cache string, hit bool, outs []solver.Outcome) *TraceJSON {
+	tr := &TraceJSON{
+		QueueWaitMS: durMS(queueWait),
+		Cache:       cache,
+		SolveMS:     durMS(solve),
+		TotalMS:     durMS(total),
+	}
+	if hit {
+		return tr // a hit runs no race; the timeline is just the lookup
+	}
+	for _, o := range outs {
+		b := TraceBackendJSON{
+			Backend:   o.Backend,
+			StartMS:   durMS(o.Started),
+			FinishMS:  durMS(o.Started + o.Elapsed),
+			Truncated: o.Info.Truncated,
+		}
+		switch {
+		case o.Winner:
+			b.Outcome = "winner"
+		case o.Err == nil:
+			b.Outcome = "ok"
+		case errors.Is(o.Err, context.Canceled), errors.Is(o.Err, context.DeadlineExceeded):
+			b.Outcome = "cancelled"
+		default:
+			b.Outcome = "error"
+			b.Error = o.Err.Error()
+		}
+		tr.Backends = append(tr.Backends, b)
+	}
+	return tr
 }
 
 // BatchRequest is the POST /v1/batch body: many graphs through one
@@ -165,9 +251,24 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // writeRejected maps an admission failure to 429 with a Retry-After hint
-// of one class budget (rounded up to a whole second, the header's unit).
-func writeRejected(w http.ResponseWriter, policy ClassPolicy, err error) {
-	retry := int(math.Ceil(policy.Budget.Seconds()))
+// derived from the rejection cause and the queue state, not a flat class
+// budget. One admission slot frees roughly every Budget/MaxConcurrent;
+// a queue-full rejection must outwait the whole backlog plus its own
+// slot, while a queue-timeout rejection already waited one full budget,
+// so only the work still queued ahead of a fresh arrival bounds the next
+// attempt. The two causes therefore advertise different hints (seconds,
+// rounded up, floor 1 — the header's unit).
+func writeRejected(w http.ResponseWriter, st *classState, err error) {
+	policy := st.policy
+	perSlot := policy.Budget.Seconds() / float64(policy.MaxConcurrent)
+	backlog := float64(st.adm.queued())
+	var wait float64
+	if errors.Is(err, errQueueTimeout) {
+		wait = perSlot * backlog
+	} else {
+		wait = perSlot * (backlog + 1)
+	}
+	retry := int(math.Ceil(wait))
 	if retry < 1 {
 		retry = 1
 	}
@@ -176,10 +277,23 @@ func writeRejected(w http.ResponseWriter, policy ClassPolicy, err error) {
 }
 
 // decodeBody decodes a size-capped JSON request body into v.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// writeDecodeError maps a body-decode failure to its status: an oversized
+// body (http.MaxBytesReader tripped) is 413 Request Entity Too Large,
+// anything else is a plain 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds the %d-byte limit", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "decode request: %v", err)
 }
 
 // resolveGraph materializes a request's graph: a zoo model by name (404
@@ -219,14 +333,35 @@ func (s *Server) stages(requested int) (int, error) {
 	return requested, nil
 }
 
+// validateStagesForGraph rejects pipelines longer than the graph: a stage
+// per Edge TPU with no node to run is a client error, and letting it
+// through would hand backends a shape they never contract to handle.
+func validateStagesForGraph(numStages int, g *graph.Graph) error {
+	if numStages > g.NumNodes() {
+		return fmt.Errorf("stages %d exceeds graph %q's %d nodes (a pipeline cannot have more stages than nodes)",
+			numStages, g.Name, g.NumNodes())
+	}
+	return nil
+}
+
+// observeRequest records one class-resolved request on the duration
+// histogram and returns the measured total, so the caller's trace reports
+// the exact observed value.
+func (s *Server) observeRequest(class Class, outcome string, arrival time.Time) time.Duration {
+	total := time.Since(arrival)
+	s.reqSeconds.With(string(class), outcome).Observe(total.Seconds())
+	return total
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req ScheduleRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	class, st, err := s.class(req.Class, ClassInteractive)
@@ -236,17 +371,25 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	numStages, err := s.stages(req.Stages)
 	if err != nil {
+		s.observeRequest(class, outcomeInvalid, arrival)
 		writeError(w, http.StatusBadRequest, "%s", err.Error())
 		return
 	}
 	g, code, err := resolveGraph(req.Model, req.Graph)
 	if err != nil {
+		s.observeRequest(class, outcomeInvalid, arrival)
 		writeError(w, code, "%s", err.Error())
+		return
+	}
+	if err := validateStagesForGraph(numStages, g); err != nil {
+		s.observeRequest(class, outcomeInvalid, arrival)
+		writeError(w, http.StatusBadRequest, "%s", err.Error())
 		return
 	}
 	var override []solver.Scheduler
 	if len(req.Backends) > 0 {
 		if override, err = solver.Resolve(req.Backends...); err != nil {
+			s.observeRequest(class, outcomeInvalid, arrival)
 			writeError(w, http.StatusBadRequest, "%s", err.Error())
 			return
 		}
@@ -254,41 +397,59 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: wait at most one class budget for a slot, then solve
 	// under a fresh budget. The solve context is also bound to the client
-	// connection, so abandoned requests cancel their backends.
+	// connection, so abandoned requests cancel their backends. The wait is
+	// measured once and feeds both the queue-wait histogram and the trace.
+	admStart := time.Now()
 	admCtx, admCancel := context.WithTimeout(r.Context(), st.policy.Budget)
 	release, err := st.adm.acquire(admCtx)
 	admCancel()
+	queueWait := time.Since(admStart)
+	s.queueSeconds.With(string(class)).Observe(queueWait.Seconds())
 	if err != nil {
-		writeRejected(w, st.policy, err)
+		outcome := outcomeRejectedCapacity
+		if errors.Is(err, errQueueTimeout) {
+			outcome = outcomeRejectedTimeout
+		}
+		s.observeRequest(class, outcome, arrival)
+		writeRejected(w, st, err)
 		return
 	}
 	defer release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), st.policy.Budget)
 	defer cancel()
-	start := time.Now()
+	solveStart := time.Now()
 	var (
 		res solver.PortfolioResult
 		hit bool
 	)
+	cacheConsult := "miss"
 	if override != nil {
+		cacheConsult = "bypass" // ad-hoc portfolios skip the class memo
 		pres, perr := solver.PortfolioOpt(ctx, override, g, numStages,
 			solver.PortfolioOptions{Patience: st.policy.Patience})
+		s.ins.ObserveOutcomes(string(class), pres.Outcomes)
 		res, err = pres, perr
 	} else {
 		res, hit, err = st.engine.Run(ctx, g, numStages)
+		if hit {
+			cacheConsult = "hit"
+		}
 	}
+	solve := time.Since(solveStart)
 	if err != nil {
 		// A budget/disconnect cut with no schedule at all is a timeout,
 		// not a client error: retrying (with a calmer class) can succeed.
-		code := http.StatusUnprocessableEntity
+		code, outcome := http.StatusUnprocessableEntity, outcomeError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			code = http.StatusGatewayTimeout
+			code, outcome = http.StatusGatewayTimeout, outcomeTimeout
 		}
+		s.observeRequest(class, outcome, arrival)
 		writeError(w, code, "no backend produced a schedule: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ScheduleResponse{
+	total := s.observeRequest(class, outcomeOK, arrival)
+	resp := ScheduleResponse{
 		Graph:     g.Name,
 		Nodes:     g.NumNodes(),
 		Stages:    numStages,
@@ -298,19 +459,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Cost:      costJSON(res.Cost),
 		Truncated: res.Truncated,
 		CacheHit:  hit,
-		ElapsedMS: durMS(time.Since(start)),
+		ElapsedMS: durMS(solve),
 		Outcomes:  outcomesJSON(res.Outcomes),
-	})
+	}
+	if req.Trace {
+		resp.Trace = traceJSON(queueWait, solve, total, cacheConsult, hit, res.Outcomes)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req BatchRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
 		return
 	}
 	class, st, err := s.class(req.Class, ClassBatch)
@@ -320,17 +486,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	numStages, err := s.stages(req.Stages)
 	if err != nil {
+		s.observeRequest(class, outcomeInvalid, arrival)
 		writeError(w, http.StatusBadRequest, "%s", err.Error())
 		return
 	}
 	if len(req.Models)+len(req.Graphs) == 0 {
+		s.observeRequest(class, outcomeInvalid, arrival)
 		writeError(w, http.StatusBadRequest, "empty batch: set models and/or graphs")
 		return
 	}
 	graphs := make([]*graph.Graph, 0, len(req.Models)+len(req.Graphs))
 	for _, name := range req.Models {
 		g, code, err := resolveGraph(name, nil)
+		if err == nil {
+			err = validateStagesForGraph(numStages, g)
+			code = http.StatusBadRequest
+		}
 		if err != nil {
+			s.observeRequest(class, outcomeInvalid, arrival)
 			writeError(w, code, "models[%q]: %s", name, err.Error())
 			return
 		}
@@ -338,7 +511,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, raw := range req.Graphs {
 		g, code, err := resolveGraph("", raw)
+		if err == nil {
+			err = validateStagesForGraph(numStages, g)
+			code = http.StatusBadRequest
+		}
 		if err != nil {
+			s.observeRequest(class, outcomeInvalid, arrival)
 			writeError(w, code, "graphs[%d]: %s", i, err.Error())
 			return
 		}
@@ -350,6 +528,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	cache, err := s.batchCache(backendName)
 	if err != nil {
+		s.observeRequest(class, outcomeInvalid, arrival)
 		writeError(w, http.StatusBadRequest, "%s", err.Error())
 		return
 	}
@@ -363,11 +542,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// One admission slot covers the whole batch; the class budget bounds
 	// the end-to-end run.
+	admStart := time.Now()
 	admCtx, admCancel := context.WithTimeout(r.Context(), st.policy.Budget)
 	release, err := st.adm.acquire(admCtx)
 	admCancel()
+	s.queueSeconds.With(string(class)).Observe(time.Since(admStart).Seconds())
 	if err != nil {
-		writeRejected(w, st.policy, err)
+		outcome := outcomeRejectedCapacity
+		if errors.Is(err, errQueueTimeout) {
+			outcome = outcomeRejectedTimeout
+		}
+		s.observeRequest(class, outcome, arrival)
+		writeRejected(w, st, err)
 		return
 	}
 	defer release()
@@ -376,6 +562,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	results, _ := solver.Batch(ctx, cache, graphs, numStages, jobs)
+	s.observeRequest(class, outcomeOK, arrival)
 
 	resp := BatchResponse{
 		Class:     string(class),

@@ -12,23 +12,36 @@
 // fingerprint, and the cache can be warmed from the model zoo so the first
 // request for a zoo model is already a hit.
 //
+// The service is fully observable: every request feeds a Prometheus-style
+// metrics registry (per-class latency histograms labeled by outcome,
+// admission counters and occupancy gauges, per-backend solve histograms,
+// cache and portfolio counters) exposed at GET /metrics, and a request
+// can opt into a structured per-request trace (queue wait, cache consult,
+// per-backend timeline) with "trace": true. Traces and metrics are
+// derived from the same measurements, so they can never disagree; the
+// admission counters and gauges are function-backed on the same atomics
+// as GET /v1/stats for the same reason.
+//
 // Endpoints:
 //
 //	POST /v1/schedule   one graph (zoo name or inline JSON) -> schedule
 //	POST /v1/batch      many graphs through one backend -> schedules
 //	GET  /v1/backends   registered backends, zoo models, class policies
 //	GET  /v1/stats      admission / cache / uptime counters
+//	GET  /metrics       Prometheus text exposition (v0.0.4)
 //	GET  /healthz       liveness probe
 package serve
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"respect/internal/metrics"
 	"respect/internal/models"
 	"respect/internal/solver"
 )
@@ -116,6 +129,15 @@ type Config struct {
 	// WarmModels lists the zoo models pre-scheduled by WarmUp. nil warms
 	// the whole zoo; an empty non-nil slice disables warm-up.
 	WarmModels []string
+	// LatencyBuckets overrides the latency histogram bucket upper bounds
+	// (seconds); nil uses metrics.DefBuckets (5 ms .. 10 s).
+	LatencyBuckets []float64
+	// DisableMetrics leaves GET /metrics unmounted. Collection itself is
+	// a few lock-free atomics per request and stays on.
+	DisableMetrics bool
+	// MaxBodyBytes caps request body size; oversized bodies are rejected
+	// with 413 Request Entity Too Large (default 16 MiB).
+	MaxBodyBytes int64
 	// Logf, when set, receives service log lines (warm-up, shutdown).
 	Logf func(format string, args ...any)
 }
@@ -145,6 +167,16 @@ type Server struct {
 	warmed   atomic.Int64
 
 	batchCaches *solver.CacheSet
+
+	// Observability: one registry per server, holding the serve-layer
+	// families below plus the solver-layer Instruments. Admission counters
+	// and occupancy gauges are function-backed on the admission atomics,
+	// so /metrics and /v1/stats always reconcile.
+	reg            *metrics.Registry
+	ins            *solver.Instruments
+	reqSeconds     *metrics.HistogramVec // class, outcome
+	queueSeconds   *metrics.HistogramVec // class
+	admissionTotal *metrics.CounterVec   // class, result (func-backed)
 }
 
 // New validates cfg (unknown backend names in class policies are rejected
@@ -160,6 +192,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 512
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.MaxBodyBytes < 1 {
+		return nil, fmt.Errorf("serve: MaxBodyBytes %d must be positive", cfg.MaxBodyBytes)
+	}
+	for _, b := range cfg.LatencyBuckets {
+		if b <= 0 || math.IsNaN(b) {
+			return nil, fmt.Errorf("serve: latency bucket %v must be positive", b)
+		}
 	}
 	if cfg.Classes == nil {
 		cfg.Classes = DefaultClasses()
@@ -214,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 			engine: solver.NewCachedPortfolio(backends, cfg.CacheSize, solver.PortfolioOptions{Patience: policy.Patience}),
 		}
 	}
+	s.initMetrics()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
@@ -221,8 +265,60 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if !cfg.DisableMetrics {
+		s.mux.Handle("/metrics", s.reg.Handler())
+	}
 	return s, nil
 }
+
+// initMetrics registers the serve-layer metric families and wires every
+// class engine, admission controller and batch cache into the server's
+// registry. Counters that mirror /v1/stats are function-backed on the
+// same atomics, so the two views always agree.
+func (s *Server) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.ins = solver.NewInstruments(s.reg, s.cfg.LatencyBuckets)
+	s.reqSeconds = s.reg.HistogramVec("respect_request_duration_seconds",
+		"End-to-end request latency (including admission queue wait) by class and outcome.",
+		s.cfg.LatencyBuckets, "class", "outcome")
+	s.queueSeconds = s.reg.HistogramVec("respect_admission_wait_seconds",
+		"Time a request spent waiting for admission (queue wait), per class.",
+		s.cfg.LatencyBuckets, "class")
+	s.admissionTotal = s.reg.CounterVec("respect_admission_requests_total",
+		"Admission decisions per class (result is admitted, rejected_capacity or rejected_timeout).",
+		"class", "result")
+	activeGauge := s.reg.GaugeVec("respect_active_requests",
+		"Currently admitted in-flight requests, per class.", "class")
+	queuedGauge := s.reg.GaugeVec("respect_queued_requests",
+		"Requests waiting for admission, per class.", "class")
+	s.reg.CounterFunc("respect_http_requests_total",
+		"HTTP requests received on any endpoint.",
+		func() float64 { return float64(s.requests.Load()) })
+	s.reg.GaugeFunc("respect_warmed_schedules",
+		"Schedules memoized by the model-zoo warm-up.",
+		func() float64 { return float64(s.warmed.Load()) })
+	s.reg.GaugeFunc("respect_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	for class, st := range s.classes {
+		st.engine.Instrument(s.ins, string(class))
+		adm := st.adm
+		s.admissionTotal.Func(func() float64 { return float64(adm.admitted.Load()) },
+			string(class), "admitted")
+		s.admissionTotal.Func(func() float64 { return float64(adm.rejectedCapacity.Load()) },
+			string(class), "rejected_capacity")
+		s.admissionTotal.Func(func() float64 { return float64(adm.rejectedTimeout.Load()) },
+			string(class), "rejected_timeout")
+		activeGauge.Func(func() float64 { return float64(adm.active()) }, string(class))
+		queuedGauge.Func(func() float64 { return float64(adm.queued()) }, string(class))
+	}
+	s.batchCaches.Instrument(s.ins, "batch/")
+}
+
+// Metrics returns the server's metrics registry, for embedding servers
+// that want to add their own families or mount the handler elsewhere.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +445,7 @@ type ClassStats struct {
 	Queued               int    `json:"queued"`
 	CacheHits            uint64 `json:"cache_hits"`
 	CacheMisses          uint64 `json:"cache_misses"`
+	CacheEvictions       uint64 `json:"cache_evictions"`
 	CacheLen             int    `json:"cache_len"`
 }
 
@@ -378,6 +475,7 @@ func (s *Server) Stats() Stats {
 			Queued:               st.adm.queued(),
 			CacheHits:            hits,
 			CacheMisses:          misses,
+			CacheEvictions:       st.engine.Evictions(),
 			CacheLen:             st.engine.Len(),
 		}
 	}

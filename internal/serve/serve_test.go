@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -537,6 +538,9 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		{Classes: map[serve.Class]serve.ClassPolicy{"x": {Budget: time.Second, Backends: []string{"heur"}, MaxConcurrent: 1, MaxQueue: -1}}},
 		{WarmModels: []string{"NoSuchNet"}},
 		{Stages: 1000},
+		{MaxBodyBytes: -1},
+		{LatencyBuckets: []float64{-0.5}},
+		{LatencyBuckets: []float64{math.NaN()}}, // NaN fails every <= check; must error, not panic
 	}
 	for i, cfg := range cases {
 		if _, err := serve.New(cfg); err == nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"respect/internal/graph"
 	"respect/internal/sched"
@@ -24,11 +25,13 @@ type cacheKey struct {
 type lru struct {
 	cap int
 
-	mu      sync.Mutex
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	onEvict   func() // optional eviction hook, called (under mu) per eviction
 }
 
 type lruEntry struct {
@@ -36,15 +39,34 @@ type lruEntry struct {
 	val any
 }
 
-func newLRU(capacity int) *lru {
+// defaultCacheCap replaces non-positive cache capacities. Every LRU
+// construction path (NewCached, NewCachedPortfolio, NewCacheSet) funnels
+// through this guard, so a zero or negative configured size can never
+// build a pathological always-evicting cache.
+const defaultCacheCap = 256
+
+// normCacheCap normalizes a configured cache capacity.
+func normCacheCap(capacity int) int {
 	if capacity < 1 {
-		capacity = 256
+		return defaultCacheCap
 	}
+	return capacity
+}
+
+func newLRU(capacity int) *lru {
 	return &lru{
-		cap:     capacity,
+		cap:     normCacheCap(capacity),
 		entries: make(map[cacheKey]*list.Element),
 		order:   list.New(),
 	}
+}
+
+// setEvictHook installs fn, called once per evicted entry while the LRU
+// lock is held — keep it cheap (an atomic counter increment).
+func (l *lru) setEvictHook(fn func()) {
+	l.mu.Lock()
+	l.onEvict = fn
+	l.mu.Unlock()
 }
 
 // get returns the cached value for key, counting a hit or a miss.
@@ -83,6 +105,10 @@ func (l *lru) put(key cacheKey, val any) {
 		oldest := l.order.Back()
 		l.order.Remove(oldest)
 		delete(l.entries, oldest.Value.(*lruEntry).key)
+		l.evictions++
+		if l.onEvict != nil {
+			l.onEvict()
+		}
 	}
 }
 
@@ -90,6 +116,12 @@ func (l *lru) stats() (hits, misses uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.hits, l.misses
+}
+
+func (l *lru) evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
 }
 
 func (l *lru) len() int {
@@ -107,12 +139,23 @@ func (l *lru) len() int {
 type Cached struct {
 	inner Scheduler
 	lru   *lru
+
+	ins     *Instruments
+	insName string
 }
 
 // NewCached wraps inner with a cache of at most capacity schedules
 // (capacity < 1 defaults to 256).
 func NewCached(inner Scheduler, capacity int) *Cached {
 	return &Cached{inner: inner, lru: newLRU(capacity)}
+}
+
+// Instrument attaches the cache's hit/miss/eviction counters and the
+// backend's fresh-solve latency histogram to ins under the given engine
+// name. Call once, before the cache serves traffic.
+func (c *Cached) Instrument(ins *Instruments, name string) {
+	ins.instrumentLRU(name, c.lru)
+	c.ins, c.insName = ins, name
 }
 
 // Name implements Scheduler: a Cached backend is transparent, carrying its
@@ -138,7 +181,9 @@ func (c *Cached) ScheduleTracked(ctx context.Context, g *graph.Graph, numStages 
 	// Solve outside the lock: a slow backend must not serialize unrelated
 	// cache traffic. Concurrent misses on one key may race the solve; the
 	// last finisher's (equivalent) schedule wins.
+	start := time.Now()
 	s, info, err = ScheduleInfo(ctx, c.inner, g, numStages)
+	c.ins.ObserveSolve(c.insName, c.inner.Name(), time.Since(start))
 	if err != nil {
 		return sched.Schedule{}, false, info, err
 	}
@@ -230,6 +275,9 @@ feed:
 // Stats returns cumulative cache hits and misses.
 func (c *Cached) Stats() (hits, misses uint64) { return c.lru.stats() }
 
+// Evictions returns the cumulative number of LRU evictions.
+func (c *Cached) Evictions() uint64 { return c.lru.evicted() }
+
 // Len returns the number of cached schedules.
 func (c *Cached) Len() int { return c.lru.len() }
 
@@ -242,14 +290,29 @@ type CacheSet struct {
 	r   *Registry
 	cap int
 
-	mu sync.Mutex
-	m  map[string]*Cached
+	mu     sync.Mutex
+	m      map[string]*Cached
+	ins    *Instruments
+	prefix string
 }
 
 // NewCacheSet builds a cache set over r with the given per-backend
-// capacity (capacity < 1 defaults to 256).
+// capacity (capacity < 1 defaults to 256 — normalized here as well as in
+// the LRU itself, so the set never records a pathological capacity).
 func NewCacheSet(r *Registry, capacity int) *CacheSet {
-	return &CacheSet{r: r, cap: capacity, m: make(map[string]*Cached)}
+	return &CacheSet{r: r, cap: normCacheCap(capacity), m: make(map[string]*Cached)}
+}
+
+// Instrument wires every cache in the set — current and future — into
+// ins; each backend's cache is named prefix+backendName (e.g. "batch/"
+// yields "batch/heur"). Call once, before the set serves traffic.
+func (cs *CacheSet) Instrument(ins *Instruments, prefix string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.ins, cs.prefix = ins, prefix
+	for name, c := range cs.m {
+		c.Instrument(ins, prefix+name)
+	}
 }
 
 // For returns the cache wrapping the named backend, creating it on first
@@ -264,6 +327,9 @@ func (cs *CacheSet) For(name string) (*Cached, error) {
 		return c, nil
 	}
 	c := NewCached(Dynamic(cs.r, name), cs.cap)
+	if cs.ins != nil {
+		c.Instrument(cs.ins, cs.prefix+name)
+	}
 	cs.m[name] = c
 	return c, nil
 }

@@ -23,6 +23,10 @@ type Outcome struct {
 	// Info is the backend's honesty metadata (truncation / optimality
 	// proof) when it reports any; zero for plain backends.
 	Info Info
+	// Started is the backend goroutine's start offset from the beginning
+	// of the race (scheduling delay; normally microseconds). Together with
+	// Elapsed it places the backend on a per-request timeline.
+	Started time.Duration
 	// Elapsed is the backend's wall-clock solve time.
 	Elapsed time.Duration
 	// Winner marks the backend whose schedule the portfolio returned.
@@ -81,11 +85,12 @@ func PortfolioOpt(ctx context.Context, backends []Scheduler, g *graph.Graph, num
 		out Outcome
 	}
 	results := make(chan indexed, len(backends))
+	raceStart := time.Now()
 	for i, b := range backends {
 		go func(i int, b Scheduler) {
 			start := time.Now()
 			s, info, err := ScheduleInfo(raceCtx, b, g, numStages)
-			out := Outcome{Backend: b.Name(), Elapsed: time.Since(start), Err: err, Info: info}
+			out := Outcome{Backend: b.Name(), Started: start.Sub(raceStart), Elapsed: time.Since(start), Err: err, Info: info}
 			if err == nil {
 				if verr := s.Validate(g); verr != nil {
 					out.Err = fmt.Errorf("solver: backend %q returned an invalid schedule: %w", b.Name(), verr)
@@ -161,12 +166,24 @@ type CachedPortfolio struct {
 	backends []Scheduler
 	opts     PortfolioOptions
 	lru      *lru
+
+	ins    *Instruments
+	engine string
 }
 
 // NewCachedPortfolio builds a cached race over backends with at most
 // capacity memoized results (capacity < 1 defaults to 256).
 func NewCachedPortfolio(backends []Scheduler, capacity int, opts PortfolioOptions) *CachedPortfolio {
 	return &CachedPortfolio{backends: backends, lru: newLRU(capacity), opts: opts}
+}
+
+// Instrument attaches the memo cache's hit/miss/eviction counters and
+// per-backend race telemetry (latency, win/loss/truncation) to ins under
+// the given engine name — the serving layer passes the request class.
+// Call once, before the engine serves traffic.
+func (p *CachedPortfolio) Instrument(ins *Instruments, engine string) {
+	ins.instrumentLRU(engine, p.lru)
+	p.ins, p.engine = ins, engine
 }
 
 // Backends returns the raced backend names, in race order.
@@ -190,6 +207,7 @@ func (p *CachedPortfolio) Run(ctx context.Context, g *graph.Graph, numStages int
 		return res, true, nil
 	}
 	res, err = PortfolioOpt(ctx, p.backends, g, numStages, p.opts)
+	p.ins.ObserveOutcomes(p.engine, res.Outcomes)
 	if err != nil {
 		return res, false, err
 	}
@@ -233,6 +251,9 @@ func (p *CachedPortfolio) Warm(ctx context.Context, graphs []*graph.Graph, numSt
 
 // Stats returns cumulative cache hits and misses.
 func (p *CachedPortfolio) Stats() (hits, misses uint64) { return p.lru.stats() }
+
+// Evictions returns the cumulative number of LRU evictions.
+func (p *CachedPortfolio) Evictions() uint64 { return p.lru.evicted() }
 
 // Len returns the number of memoized races.
 func (p *CachedPortfolio) Len() int { return p.lru.len() }
