@@ -7,6 +7,7 @@
 //	respect-serve -addr :8080
 //	respect-serve -addr :8080 -agent respect.gob -interactive-backends heur,rl
 //	respect-serve -addr 127.0.0.1:0 -warm none -batch-budget 10s
+//	respect-serve -addr :8080 -speculate -speculate-watermark 0.6 -speculate-budget 8
 //
 //	curl -s localhost:8080/v1/schedule -d '{"model":"ResNet152","stages":6}'
 //	curl -s localhost:8080/v1/backends
@@ -102,6 +103,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueDepth  = fs.Int("queue-depth", 0, "override every class's admission queue depth (0 keeps per-class defaults)")
 		metricsOn   = fs.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
 		buckets     = fs.String("metrics-buckets", "", "latency histogram bucket bounds in seconds, comma-separated (empty keeps the defaults, 5ms..10s)")
+		speculateOn = fs.Bool("speculate", false, "speculatively warm the per-class caches from popularity + eviction signals")
+		specMark    = fs.Float64("speculate-watermark", 0, "admission occupancy in (0,1] at which speculation yields (0 keeps the default, 0.5)")
+		specBudget  = fs.Int("speculate-budget", 0, "max speculative solves per scan pass (0 keeps the default, 4)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +164,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Classes:        classes,
 		LatencyBuckets: latencyBuckets,
 		DisableMetrics: !*metricsOn,
+		Speculation: serve.SpeculationConfig{
+			Enabled:   *speculateOn,
+			Watermark: *specMark,
+			Budget:    *specBudget,
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},

@@ -192,6 +192,65 @@ func TestRunMetricsDisabled(t *testing.T) {
 	}
 }
 
+// TestRunSpeculateFlags boots with speculation on: the speculation metric
+// families are exposed, /v1/stats carries the speculation block, and bad
+// speculation flag values are config errors, not panics.
+func TestRunSpeculateFlags(t *testing.T) {
+	base, _, cancel, done := startServe(t, "-speculate", "-speculate-watermark", "0.7", "-speculate-budget", "2")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet","stages":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"respect_speculative_warms_total",
+		"respect_speculative_hits_total",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("exposition missing %q with -speculate:\n%s", want, page)
+		}
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Speculation *struct {
+			TrackedKeys int `json:"tracked_keys"`
+		} `json:"speculation"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Speculation == nil || st.Speculation.TrackedKeys < 1 {
+		t.Fatalf("stats speculation block missing or empty: %+v", st.Speculation)
+	}
+
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-speculate", "-speculate-watermark", "1.5"}, &out); err == nil {
+		t.Fatal("want watermark range error")
+	}
+	if err := run(context.Background(), []string{"-speculate", "-speculate-budget", "-1"}, &out); err == nil {
+		t.Fatal("want negative budget error")
+	}
+}
+
 // TestRunWarmSetAndFlagErrors covers the warm-set plumbing and flag
 // validation without binding a real port twice.
 func TestRunWarmSetAndFlagErrors(t *testing.T) {

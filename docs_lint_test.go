@@ -1,0 +1,160 @@
+// Documentation lint, run as part of CI's docs-lint step:
+//
+//   - every relative link in the repo's Markdown files must resolve to a
+//     file or directory that exists;
+//   - every exported identifier in the serving-stack packages
+//     (internal/serve, internal/solver, internal/speculate) must carry a
+//     doc comment, so `go doc` is complete where operators look first.
+package respect_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRE matches Markdown inline links and captures the destination.
+var mdLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks checks in-repo relative links in the authored
+// documentation (README.md, docs/, ROADMAP.md, CHANGES.md) resolve.
+// PAPER.md / PAPERS.md / SNIPPETS.md are scraped research artifacts and
+// are out of scope.
+func TestDocsRelativeLinks(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	err := filepath.WalkDir("docs", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("only %v found; docs/ is missing", files)
+	}
+
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRE.FindAllStringSubmatch(string(raw), -1) {
+			dest := m[1]
+			if strings.Contains(dest, "://") || strings.HasPrefix(dest, "mailto:") || strings.HasPrefix(dest, "#") {
+				continue // external links and same-file anchors are out of scope
+			}
+			if i := strings.IndexByte(dest, '#'); i >= 0 {
+				dest = dest[:i]
+			}
+			if dest == "" {
+				continue
+			}
+			target := filepath.Join(filepath.Dir(file), dest)
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", file, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked; lint is miswired")
+	}
+	t.Logf("checked %d relative links across %d Markdown files", checked, len(files))
+}
+
+// docCheckedPackages are the serving-stack packages held to full go-doc
+// coverage of their exported identifiers.
+var docCheckedPackages = []string{
+	"internal/serve",
+	"internal/solver",
+	"internal/speculate",
+}
+
+// TestDocsExportedDocComments enforces doc comments on every exported
+// top-level identifier (functions, methods on exported receivers, types,
+// consts, vars) in the doc-checked packages.
+func TestDocsExportedDocComments(t *testing.T) {
+	for _, dir := range docCheckedPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDeclDocs(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+// checkDeclDocs reports exported declarations without doc comments.
+func checkDeclDocs(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported %s lacks a doc comment", fset.Position(d.Pos()), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported type %s lacks a doc comment", fset.Position(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A documented const/var block covers its members.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						t.Errorf("%s: exported %s lacks a doc comment", fset.Position(s.Pos()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether fn is a plain function or a method
+// whose receiver type is itself exported — methods on unexported types
+// are not part of the package's go doc surface.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	typ := fn.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

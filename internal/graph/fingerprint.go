@@ -10,9 +10,17 @@ import (
 // bytes, MACs) plus the adjacency structure. Two graphs with identical
 // structure and attributes share a fingerprint regardless of Name, so a
 // schedule computed for one is valid — and cost-identical — for the other.
-// This keys the solver-level schedule cache.
+// This keys the solver-level schedule cache. The hash is computed once at
+// Build time (the graph is immutable afterwards), so hot serving paths
+// that fingerprint per request — cache lookups, popularity taps, hit
+// attribution — pay a field read, not an O(V+E) rehash.
 func (g *Graph) Fingerprint() uint64 {
 	g.mustBuilt()
+	return g.fp
+}
+
+// computeFingerprint hashes the structure; called by Build.
+func (g *Graph) computeFingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	u64 := func(x uint64) {

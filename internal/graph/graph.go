@@ -93,6 +93,7 @@ type Graph struct {
 	alap     []int // ALAP level per node
 	depth    int   // longest path length in edges
 	maxInDeg int
+	fp       uint64 // structural fingerprint, memoized at Build
 }
 
 // New returns an empty graph with the given name.
@@ -185,6 +186,7 @@ func (g *Graph) Build() error {
 			g.maxInDeg = len(g.pred[v])
 		}
 	}
+	g.fp = g.computeFingerprint()
 	g.built = true
 	return nil
 }

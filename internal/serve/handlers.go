@@ -94,18 +94,21 @@ func outcomesJSON(outs []solver.Outcome) []OutcomeJSON {
 // found, not a full-effort result. Trace is present only when the request
 // set "trace": true.
 type ScheduleResponse struct {
-	Graph     string        `json:"graph"`
-	Nodes     int           `json:"nodes"`
-	Stages    int           `json:"stages"`
-	Class     string        `json:"class"`
-	Backend   string        `json:"backend"`
-	Stage     []int         `json:"stage"`
-	Cost      CostJSON      `json:"cost"`
-	Truncated bool          `json:"truncated"`
-	CacheHit  bool          `json:"cache_hit"`
-	ElapsedMS float64       `json:"elapsed_ms"`
-	Outcomes  []OutcomeJSON `json:"outcomes,omitempty"`
-	Trace     *TraceJSON    `json:"trace,omitempty"`
+	Graph     string   `json:"graph"`
+	Nodes     int      `json:"nodes"`
+	Stages    int      `json:"stages"`
+	Class     string   `json:"class"`
+	Backend   string   `json:"backend"`
+	Stage     []int    `json:"stage"`
+	Cost      CostJSON `json:"cost"`
+	Truncated bool     `json:"truncated"`
+	CacheHit  bool     `json:"cache_hit"`
+	// SpeculativeHit marks a cache hit served from an entry the
+	// speculative warmer stored ahead of demand.
+	SpeculativeHit bool          `json:"speculative_hit,omitempty"`
+	ElapsedMS      float64       `json:"elapsed_ms"`
+	Outcomes       []OutcomeJSON `json:"outcomes,omitempty"`
+	Trace          *TraceJSON    `json:"trace,omitempty"`
 }
 
 // TraceJSON is one request's structured timeline: queue wait, the cache
@@ -395,6 +398,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Speculation's popularity tap: every class-resolved valid request is
+	// demand, whether or not it ends up admitted.
+	if st.spec != nil {
+		st.spec.ObserveRequest(g, numStages)
+	}
+
 	// Admission: wait at most one class budget for a slot, then solve
 	// under a fresh budget. The solve context is also bound to the client
 	// connection, so abandoned requests cancel their backends. The wait is
@@ -448,19 +457,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "no backend produced a schedule: %v", err)
 		return
 	}
+	specHit := false
+	if hit && st.spec != nil {
+		specHit = st.spec.AttributeHit(g.Fingerprint(), numStages)
+	}
 	total := s.observeRequest(class, outcomeOK, arrival)
 	resp := ScheduleResponse{
-		Graph:     g.Name,
-		Nodes:     g.NumNodes(),
-		Stages:    numStages,
-		Class:     string(class),
-		Backend:   res.Backend,
-		Stage:     res.Schedule.Stage,
-		Cost:      costJSON(res.Cost),
-		Truncated: res.Truncated,
-		CacheHit:  hit,
-		ElapsedMS: durMS(solve),
-		Outcomes:  outcomesJSON(res.Outcomes),
+		Graph:          g.Name,
+		Nodes:          g.NumNodes(),
+		Stages:         numStages,
+		Class:          string(class),
+		Backend:        res.Backend,
+		Stage:          res.Schedule.Stage,
+		Cost:           costJSON(res.Cost),
+		Truncated:      res.Truncated,
+		CacheHit:       hit,
+		SpeculativeHit: specHit,
+		ElapsedMS:      durMS(solve),
+		Outcomes:       outcomesJSON(res.Outcomes),
 	}
 	if req.Trace {
 		resp.Trace = traceJSON(queueWait, solve, total, cacheConsult, hit, res.Outcomes)

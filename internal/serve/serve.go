@@ -44,6 +44,7 @@ import (
 	"respect/internal/metrics"
 	"respect/internal/models"
 	"respect/internal/solver"
+	"respect/internal/speculate"
 )
 
 // Class names a request service class; it selects the latency budget,
@@ -138,6 +139,9 @@ type Config struct {
 	// MaxBodyBytes caps request body size; oversized bodies are rejected
 	// with 413 Request Entity Too Large (default 16 MiB).
 	MaxBodyBytes int64
+	// Speculation tunes speculative warm-cache scheduling for the
+	// warm-marked classes; the zero value leaves it off.
+	Speculation SpeculationConfig
 	// Logf, when set, receives service log lines (warm-up, shutdown).
 	Logf func(format string, args ...any)
 }
@@ -148,11 +152,13 @@ type Config struct {
 const maxStages = 64
 
 // classState is one request class's runtime: its policy, admission
-// controller and memoizing portfolio engine.
+// controller, memoizing portfolio engine and (when enabled for a
+// warm-marked class) its speculative warmer.
 type classState struct {
 	policy ClassPolicy
 	adm    *admission
 	engine *solver.CachedPortfolio
+	spec   *speculate.Speculator // nil unless speculation is on for this class
 }
 
 // Server is the scheduling service. It implements http.Handler; construct
@@ -167,6 +173,7 @@ type Server struct {
 	warmed   atomic.Int64
 
 	batchCaches *solver.CacheSet
+	speculators []*speculate.Speculator // the warm-marked classes' warmers
 
 	// Observability: one registry per server, holding the serve-layer
 	// families below plus the solver-layer Instruments. Admission counters
@@ -258,6 +265,9 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.initMetrics()
+	if err := s.initSpeculation(); err != nil {
+		return nil, err
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
@@ -402,9 +412,10 @@ func (s *Server) WarmUp(ctx context.Context) (int, error) {
 
 // Run serves s on ln until ctx is cancelled, then shuts down gracefully:
 // in-flight requests drain (bounded by a 10 s grace period) and the
-// concurrent model-zoo warm-up is stopped and awaited before Run returns,
-// so no zoo solve outlives the service. Run owns ln. This is the shared
-// lifecycle behind respect.Serve and cmd/respect-serve.
+// concurrent model-zoo warm-up and the speculative warmers are stopped
+// and awaited before Run returns, so no background solve outlives the
+// service. Run owns ln. This is the shared lifecycle behind respect.Serve
+// and cmd/respect-serve.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	warmCtx, warmCancel := context.WithCancel(ctx)
 	defer warmCancel()
@@ -415,6 +426,8 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 			s.logf("warm-up: %v (after %d schedules)", err, n)
 		}
 	}()
+	stopSpec := s.runSpeculators(ctx)
+	defer stopSpec()
 
 	httpSrv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
@@ -427,6 +440,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	s.logf("shutting down")
 	warmCancel()
 	<-warmDone
+	stopSpec()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -455,6 +469,9 @@ type Stats struct {
 	Requests        uint64                `json:"requests"`
 	WarmedSchedules int64                 `json:"warmed_schedules"`
 	Classes         map[string]ClassStats `json:"classes"`
+	// Speculation aggregates the class speculators' counters; absent when
+	// speculative warming is disabled.
+	Speculation *speculate.Stats `json:"speculation,omitempty"`
 }
 
 // Stats snapshots admission, cache and request counters.
@@ -464,6 +481,10 @@ func (s *Server) Stats() Stats {
 		Requests:        s.requests.Load(),
 		WarmedSchedules: s.warmed.Load(),
 		Classes:         make(map[string]ClassStats, len(s.classes)),
+	}
+	if len(s.speculators) > 0 {
+		agg := s.SpeculationStats()
+		out.Speculation = &agg
 	}
 	for class, st := range s.classes {
 		hits, misses := st.engine.Stats()

@@ -31,7 +31,12 @@ type lru struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
-	onEvict   func() // optional eviction hook, called (under mu) per eviction
+	onEvict   []func(cacheKey) // eviction hooks, called (under mu) per eviction
+	// victimScore, when set, makes eviction popularity-aware: instead of
+	// always evicting the LRU tail, put scans the victimScanDepth least
+	// recently used entries and evicts the lowest-scoring one, so a hot
+	// entry that merely aged survives cold churn.
+	victimScore func(cacheKey) float64
 }
 
 type lruEntry struct {
@@ -61,12 +66,55 @@ func newLRU(capacity int) *lru {
 	}
 }
 
-// setEvictHook installs fn, called once per evicted entry while the LRU
-// lock is held — keep it cheap (an atomic counter increment).
-func (l *lru) setEvictHook(fn func()) {
+// addEvictHook registers fn, called once per evicted entry with the
+// evicted key while the LRU lock is held — keep it cheap (a counter
+// increment, a set insertion) and never re-enter the LRU from it.
+func (l *lru) addEvictHook(fn func(cacheKey)) {
 	l.mu.Lock()
-	l.onEvict = fn
+	l.onEvict = append(l.onEvict, fn)
 	l.mu.Unlock()
+}
+
+// setVictimScorer installs score as the eviction-ordering signal (nil
+// restores plain LRU order). Called under the LRU lock at eviction time,
+// so it must be cheap and must not touch the LRU itself.
+func (l *lru) setVictimScorer(score func(cacheKey) float64) {
+	l.mu.Lock()
+	l.victimScore = score
+	l.mu.Unlock()
+}
+
+// victimScanDepth bounds how many tail entries a popularity-aware
+// eviction examines; beyond a handful the scan buys nothing — anything
+// deeper in the recency order is recent enough to keep regardless.
+const victimScanDepth = 8
+
+// victim picks the entry to evict: the back of the recency order, or,
+// with a scorer installed, the lowest-scoring of the last victimScanDepth
+// entries (ties keep the least recently used). The just-inserted front
+// entry is never a candidate — evicting it would turn put into a silent
+// no-op, and a hot key that can never land in the cache re-solves on
+// every request. Called with l.mu held.
+func (l *lru) victim() *list.Element {
+	victim := l.order.Back()
+	if l.victimScore == nil || victim == nil {
+		return victim
+	}
+	scan := victimScanDepth
+	if n := l.order.Len() - 1; scan > n {
+		scan = n
+	}
+	best, bestScore := victim, l.victimScore(victim.Value.(*lruEntry).key)
+	el := victim
+	for i := 1; i < scan; i++ {
+		if el = el.Prev(); el == nil {
+			break
+		}
+		if sc := l.victimScore(el.Value.(*lruEntry).key); sc < bestScore {
+			best, bestScore = el, sc
+		}
+	}
+	return best
 }
 
 // get returns the cached value for key, counting a hit or a miss.
@@ -102,12 +150,13 @@ func (l *lru) put(key cacheKey, val any) {
 	}
 	l.entries[key] = l.order.PushFront(&lruEntry{key: key, val: val})
 	for l.order.Len() > l.cap {
-		oldest := l.order.Back()
+		oldest := l.victim()
+		evictedKey := oldest.Value.(*lruEntry).key
 		l.order.Remove(oldest)
-		delete(l.entries, oldest.Value.(*lruEntry).key)
+		delete(l.entries, evictedKey)
 		l.evictions++
-		if l.onEvict != nil {
-			l.onEvict()
+		for _, fn := range l.onEvict {
+			fn(evictedKey)
 		}
 	}
 }
@@ -270,6 +319,28 @@ feed:
 		}
 	}
 	return stored, firstErr
+}
+
+// OnEvict registers fn to be called with the evicted instance's graph
+// fingerprint and stage count on every LRU eviction. The hook runs under
+// the cache lock: keep it cheap and never call back into this cache from
+// it. Multiple hooks run in registration order; this is the signal source
+// for speculative re-admission of evicted hot entries.
+func (c *Cached) OnEvict(fn func(fp uint64, numStages int)) {
+	c.lru.addEvictHook(func(k cacheKey) { fn(k.fp, k.numStages) })
+}
+
+// SetEvictionScorer makes eviction popularity-aware: when over capacity
+// the cache evicts the lowest-scoring of its least recently used entries
+// instead of strictly the oldest, so hot-but-aged schedules survive cold
+// churn. score runs under the cache lock — it must be cheap and must not
+// call back into this cache. A nil score restores plain LRU order.
+func (c *Cached) SetEvictionScorer(score func(fp uint64, numStages int) float64) {
+	if score == nil {
+		c.lru.setVictimScorer(nil)
+		return
+	}
+	c.lru.setVictimScorer(func(k cacheKey) float64 { return score(k.fp, k.numStages) })
 }
 
 // Stats returns cumulative cache hits and misses.

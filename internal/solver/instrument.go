@@ -90,5 +90,5 @@ func (ins *Instruments) instrumentLRU(name string, l *lru) {
 	ins.cacheOps.Func(func() float64 { h, _ := l.stats(); return float64(h) }, name, "hit")
 	ins.cacheOps.Func(func() float64 { _, m := l.stats(); return float64(m) }, name, "miss")
 	evict := ins.cacheOps.With(name, "evict")
-	l.setEvictHook(func() { evict.Inc() })
+	l.addEvictHook(func(cacheKey) { evict.Inc() })
 }

@@ -249,6 +249,24 @@ func (p *CachedPortfolio) Warm(ctx context.Context, graphs []*graph.Graph, numSt
 		func(g *graph.Graph) bool { return p.Contains(g, numStages) })
 }
 
+// OnEvict registers fn to be called with the evicted instance's graph
+// fingerprint and stage count on every memo eviction; the same contract
+// as Cached.OnEvict (runs under the cache lock, keep it cheap, no
+// re-entry).
+func (p *CachedPortfolio) OnEvict(fn func(fp uint64, numStages int)) {
+	p.lru.addEvictHook(func(k cacheKey) { fn(k.fp, k.numStages) })
+}
+
+// SetEvictionScorer makes memo eviction popularity-aware; the same
+// contract as Cached.SetEvictionScorer.
+func (p *CachedPortfolio) SetEvictionScorer(score func(fp uint64, numStages int) float64) {
+	if score == nil {
+		p.lru.setVictimScorer(nil)
+		return
+	}
+	p.lru.setVictimScorer(func(k cacheKey) float64 { return score(k.fp, k.numStages) })
+}
+
 // Stats returns cumulative cache hits and misses.
 func (p *CachedPortfolio) Stats() (hits, misses uint64) { return p.lru.stats() }
 

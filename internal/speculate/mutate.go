@@ -1,0 +1,132 @@
+package speculate
+
+import (
+	"strings"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+)
+
+// Candidate is one speculative scheduling instance: a graph plus a
+// pipeline length worth warming ahead of demand.
+type Candidate struct {
+	Graph  *graph.Graph
+	Stages int
+}
+
+// maxFamilyVariants bounds how many same-family zoo models one popular
+// model fans out to; the speculation budget caps total work anyway, this
+// just keeps a single hot ResNet from monopolizing the candidate list.
+const maxFamilyVariants = 3
+
+// Mutations generates likely near-future variants of a popular instance,
+// in priority order:
+//
+//   - stage-count neighbors (numStages ± 1): clients tuning a deployment
+//     sweep adjacent pipeline lengths of the same graph;
+//   - zoo family members: demand for ResNet50 predicts demand for the
+//     other ResNets (same graph family, the skew regime of edge serving);
+//   - a structural variant with the last sink pruned: clients iterating
+//     on a model (head swaps, layer pruning) re-submit near-identical
+//     graphs.
+//
+// maxStages clamps the grown stage count; every candidate respects the
+// invariant stages <= |V|. The source instance itself is never returned.
+func Mutations(g *graph.Graph, numStages, maxStages int) []Candidate {
+	var out []Candidate
+	if numStages-1 >= 1 {
+		out = append(out, Candidate{Graph: g, Stages: numStages - 1})
+	}
+	if numStages+1 <= maxStages && numStages+1 <= g.NumNodes() {
+		out = append(out, Candidate{Graph: g, Stages: numStages + 1})
+	}
+	for _, fg := range familyMembers(g.Name) {
+		stages := numStages
+		if stages > fg.NumNodes() {
+			stages = fg.NumNodes()
+		}
+		out = append(out, Candidate{Graph: fg, Stages: stages})
+	}
+	if pg := pruneSink(g); pg != nil && numStages <= pg.NumNodes() {
+		out = append(out, Candidate{Graph: pg, Stages: numStages})
+	}
+	return out
+}
+
+// familyOf strips the size/version suffix from a zoo model name:
+// "ResNet152v2" -> "ResNet", "DenseNet121" -> "DenseNet",
+// "Inception_v3" -> "Inception". Non-zoo names collapse the same way;
+// they simply match no other zoo member.
+func familyOf(name string) string {
+	s := strings.TrimRight(name, "0123456789")
+	if strings.HasSuffix(s, "v") || strings.HasSuffix(s, "V") {
+		s = s[:len(s)-1]
+	}
+	s = strings.TrimRight(s, "0123456789")
+	return strings.TrimRight(s, "_-")
+}
+
+// familyMembers loads up to maxFamilyVariants zoo models that share the
+// popular graph's family, excluding the graph itself. Names() is sorted,
+// so the fan-out is deterministic.
+func familyMembers(name string) []*graph.Graph {
+	family := familyOf(name)
+	if family == "" {
+		return nil
+	}
+	var out []*graph.Graph
+	for _, candidate := range models.Names() {
+		if candidate == name || familyOf(candidate) != family {
+			continue
+		}
+		g, err := models.Load(candidate)
+		if err != nil {
+			continue // zoo generators are tested; defensive only
+		}
+		out = append(out, g)
+		if len(out) == maxFamilyVariants {
+			break
+		}
+	}
+	return out
+}
+
+// pruneSink rebuilds g without its highest-numbered sink node — the
+// head-swap / layer-pruning mutation. Returns nil when the graph is too
+// small to prune or the rebuild fails (it cannot for a built DAG, but the
+// speculator treats mutation generation as best-effort).
+func pruneSink(g *graph.Graph) *graph.Graph {
+	if g.NumNodes() < 3 {
+		return nil
+	}
+	sinks := g.Sinks()
+	if len(sinks) == 0 {
+		return nil
+	}
+	drop := sinks[len(sinks)-1]
+
+	ng := graph.New(g.Name + "~pruned")
+	remap := make([]int, g.NumNodes())
+	for _, n := range g.Nodes() {
+		if n.ID == drop {
+			remap[n.ID] = -1
+			continue
+		}
+		remap[n.ID] = ng.AddNode(n)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if remap[u] < 0 {
+			continue
+		}
+		for _, v := range g.Succ(u) {
+			if remap[v] < 0 {
+				continue
+			}
+			ng.AddEdge(remap[u], remap[v])
+		}
+	}
+	if err := ng.Build(); err != nil {
+		return nil
+	}
+	return ng
+}
