@@ -1,0 +1,213 @@
+// Command respect-perf runs the benchmark trajectory harness: solver
+// latency over the model zoo and synthetic graph sizes, allocation
+// profiles of the tracked hot paths, and a fixed-SLO serving-throughput
+// replay against an in-process scheduling server. The result is a
+// schema-stable JSON artifact (BENCH_<n>.json) that successive PRs check
+// in, so the repo carries its own performance history.
+//
+// Examples:
+//
+//	respect-perf -out BENCH_7.json
+//	respect-perf -out BENCH_7.json -compare BENCH_6.json -threshold 0.15
+//	respect-perf -short -out /tmp/quick.json        # CI regression gate
+//	respect-perf -backends heur,compiler -stages 6
+//
+// With -compare, the process exits 1 when any tracked metric regressed
+// past -threshold — the CI bench-regression job is exactly this call.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"respect/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("respect-perf: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
+}
+
+// errRegression marks the compare gate tripping: not a harness failure,
+// but a non-zero exit.
+var errRegression = errors.New("regression")
+
+func splitNames(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(list string) ([]int, error) {
+	var out []int
+	for _, p := range splitNames(list) {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad synthetic size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// run is the binary behind injectable args and stdout; it returns the
+// process exit code so tests can assert the regression gate.
+func run(ctx context.Context, args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("respect-perf", flag.ContinueOnError)
+	var (
+		outPath   = fs.String("out", "", "write the trajectory report JSON here (empty prints a summary only)")
+		label     = fs.String("label", "", "report label (defaults to the -out file name without extension)")
+		compare   = fs.String("compare", "", "previous BENCH_*.json to diff against")
+		threshold = fs.Float64("threshold", 0.15, "regression gate: fail when a metric is more than this fraction worse")
+		short     = fs.Bool("short", false, "reduced iteration counts for CI (fixed, still deterministic in coverage)")
+		backends  = fs.String("backends", strings.Join(perf.DefaultBackends(), ","), "comma-separated solver backends to sweep")
+		modelsFl  = fs.String("models", strings.Join(perf.DefaultModels(), ","), "comma-separated zoo models to sweep")
+		synthFl   = fs.String("synth", "", "comma-separated synthetic graph sizes (empty = the default sweep, \"none\" = skip)")
+		stages    = fs.Int("stages", 4, "pipeline stages for every solve")
+		iters     = fs.Int("iters", 0, "per-cell iterations (0 = 50, or 10 with -short)")
+		servReqs  = fs.Int("serving-requests", 0, "serving replay request count (0 = 2000, or 400 with -short)")
+		servWork  = fs.Int("serving-workers", 8, "serving replay closed-loop workers")
+		slo       = fs.Duration("slo", 50*time.Millisecond, "serving replay p99 SLO")
+		noAllocs  = fs.Bool("skip-allocs", false, "skip the testing.Benchmark allocation probes")
+		noServe   = fs.Bool("skip-serving", false, "skip the serving replay")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, nil
+		}
+		return 2, err
+	}
+
+	suite := perf.SuiteConfig{
+		Backends: splitNames(*backends),
+		Models:   splitNames(*modelsFl),
+		Stages:   *stages,
+		Iters:    *iters,
+	}
+	switch *synthFl {
+	case "":
+		suite.SynthSizes = perf.DefaultSynthSizes()
+	case "none":
+		suite.SynthSizes = []int{}
+	default:
+		sizes, err := splitInts(*synthFl)
+		if err != nil {
+			return 2, err
+		}
+		suite.SynthSizes = sizes
+	}
+	if *short && suite.Iters == 0 {
+		suite.Iters = 10
+	}
+	reqs := *servReqs
+	if reqs == 0 {
+		reqs = 2000
+		if *short {
+			reqs = 400
+		}
+	}
+
+	name := *label
+	if name == "" && *outPath != "" {
+		base := *outPath
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		name = strings.TrimSuffix(base, ".json")
+	}
+	if name == "" {
+		name = "BENCH"
+	}
+	report := perf.NewReport(name)
+	report.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+
+	fmt.Fprintf(out, "solver sweep: %d backends x (%d models + %d synthetic sizes), %d stages\n",
+		len(suite.Backends), len(suite.Models), len(suite.SynthSizes), *stages)
+	solverResults, notes, err := perf.RunSolverSuite(ctx, suite)
+	if err != nil {
+		return 1, err
+	}
+	report.Solver = solverResults
+	report.Notes = notes
+	for _, r := range solverResults {
+		fmt.Fprintf(out, "  %-14s %-18s p50=%8.1fus p99=%8.1fus %9.1f graphs/s/core\n",
+			r.Backend, r.Graph, r.P50Micros, r.P99Micros, r.GraphsPerSecCore)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(out, "  note: %s\n", n)
+	}
+
+	if !*noAllocs {
+		fmt.Fprintln(out, "allocation probes (testing.Benchmark):")
+		report.Alloc = perf.MeasureAllocs()
+		for _, a := range report.Alloc {
+			fmt.Fprintf(out, "  %-18s %8d ns/op %8d B/op %6d allocs/op\n",
+				a.Name, a.NsPerOp, a.BytesPerOp, a.AllocsPerOp)
+		}
+	}
+
+	if !*noServe {
+		fmt.Fprintf(out, "serving replay: %d requests, %d workers, SLO %v\n", reqs, *servWork, *slo)
+		sres, err := perf.ServingReplay(ctx, perf.ServingConfig{
+			Models:   suite.Models,
+			Stages:   *stages,
+			Workers:  *servWork,
+			Requests: reqs,
+			SLO:      *slo,
+			Warm:     true,
+		})
+		if err != nil {
+			return 1, err
+		}
+		report.Serving = []perf.ServingResult{sres}
+		fmt.Fprintf(out, "  %-12s %9.1f req/s  p50=%8.1fus p99=%8.1fus withinSLO=%v rejected=%d\n",
+			sres.Class, sres.ThroughputRPS, sres.P50Micros, sres.P99Micros, sres.WithinSLO, sres.Rejected)
+	}
+
+	if *outPath != "" {
+		if err := report.WriteJSON(*outPath); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+
+	if *compare != "" {
+		prev, err := perf.ReadReport(*compare)
+		if err != nil {
+			return 1, err
+		}
+		regs := perf.Compare(prev, report, *threshold)
+		if len(regs) == 0 {
+			fmt.Fprintf(out, "no regressions vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
+		} else {
+			fmt.Fprintf(out, "REGRESSIONS vs %s (threshold %.0f%%):\n", *compare, *threshold*100)
+			for _, r := range regs {
+				fmt.Fprintf(out, "  %s\n", r)
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"respect/internal/perf"
+)
+
+// quickArgs is the smallest full pass through the harness: tiny iteration
+// counts, no testing.Benchmark probes (they insist on ~1s each).
+func quickArgs(outPath string) []string {
+	return []string{
+		"-out", outPath,
+		"-backends", "heur",
+		"-models", "MobileNet",
+		"-synth", "20",
+		"-iters", "3",
+		"-serving-requests", "50",
+		"-serving-workers", "2",
+		"-skip-allocs",
+	}
+}
+
+func TestRunWritesReportAndComparesClean(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var buf strings.Builder
+	code, err := run(context.Background(), quickArgs(outPath), &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	r, err := perf.ReadReport(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Label != "bench" || len(r.Solver) != 2 || len(r.Serving) != 1 {
+		t.Fatalf("unexpected report: label=%q solver=%d serving=%d", r.Label, len(r.Solver), len(r.Serving))
+	}
+
+	// Self-compare at a generous threshold passes: same machine, same
+	// cells, back-to-back runs.
+	buf.Reset()
+	args := append(quickArgs(filepath.Join(dir, "bench2.json")), "-compare", outPath, "-threshold", "5.0")
+	code, err = run(context.Background(), args, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("compare run: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("missing clean-compare line:\n%s", buf.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var buf strings.Builder
+	code, err := run(context.Background(), quickArgs(outPath), &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v", code, err)
+	}
+	// Doctor the baseline to claim implausibly fast solves; the fresh run
+	// must then trip the gate and exit non-zero.
+	r, err := perf.ReadReport(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Solver {
+		r.Solver[i].P50Micros /= 1000
+		r.Solver[i].GraphsPerSecCore *= 1000
+	}
+	fast := filepath.Join(dir, "fast.json")
+	if err := r.WriteJSON(fast); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	args := append(quickArgs(filepath.Join(dir, "bench2.json")), "-compare", fast)
+	code, err = run(context.Background(), args, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(buf.String(), "REGRESSIONS") {
+		t.Fatalf("gate did not trip: code=%d\n%s", code, buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf strings.Builder
+	if code, _ := run(context.Background(), []string{"-not-a-flag"}, &buf); code != 2 {
+		t.Fatalf("bad flag: code=%d", code)
+	}
+	if code, _ := run(context.Background(), []string{"-synth", "abc"}, &buf); code != 2 {
+		t.Fatalf("bad synth list: code=%d", code)
+	}
+	if code, err := run(context.Background(), []string{"-backends", "nope", "-skip-allocs", "-skip-serving", "-synth", "none", "-models", "MobileNet", "-iters", "1"}, &buf); code == 0 || err == nil {
+		t.Fatalf("unknown backend: code=%d err=%v", code, err)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"log"
 	"math"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -106,6 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		speculateOn = fs.Bool("speculate", false, "speculatively warm the per-class caches from popularity + eviction signals")
 		specMark    = fs.Float64("speculate-watermark", 0, "admission occupancy in (0,1] at which speculation yields (0 keeps the default, 0.5)")
 		specBudget  = fs.Int("speculate-budget", 0, "max speculative solves per scan pass (0 keeps the default, 4)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -193,6 +196,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "listening on http://%s (%d backends, %d zoo models)\n",
 		ln.Addr(), len(solver.Names()), len(models.Names()))
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux: pprof handlers must
+		// never be exposed on the serving address, and the DefaultServeMux
+		// registration net/http/pprof performs at import time only reaches
+		// this private mux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: mux}
+		go psrv.Serve(pln)
+		defer psrv.Close()
+		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	// Run owns the listener: it warms the caches concurrently with early
 	// traffic and drains in-flight requests on ctx cancellation.

@@ -345,3 +345,60 @@ func TestRunWarmUpCachesZooSubset(t *testing.T) {
 		t.Fatal("run did not shut down")
 	}
 }
+
+var pprofRE = regexp.MustCompile(`pprof on (http://[^\s]+)/debug/pprof/`)
+
+// TestRunPprofFlag mounts the profiler on a second ephemeral port and
+// checks the index and a heap profile respond there, while the serving
+// address stays clean of /debug/pprof.
+func TestRunPprofFlag(t *testing.T) {
+	base, out, cancel, done := startServe(t, "-pprof", "127.0.0.1:0")
+	defer func() { cancel(); <-done }()
+
+	var pbase string
+	deadline := time.Now().Add(15 * time.Second)
+	for pbase == "" && time.Now().Before(deadline) {
+		if m := pprofRE.FindStringSubmatch(out.String()); m != nil {
+			pbase = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pbase == "" {
+		t.Fatalf("no pprof line; output: %s", out.String())
+	}
+
+	resp, err := http.Get(pbase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "heap") {
+		t.Fatalf("pprof index: %d: %s", resp.StatusCode, page)
+	}
+	resp, err = http.Get(pbase + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile: %d", resp.StatusCode)
+	}
+
+	// The serving mux must not expose the profiler.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving address exposes pprof: %d", resp.StatusCode)
+	}
+
+	// A bad profiler address is a startup error, not a panic.
+	var buf syncBuffer
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "none", "-pprof", "256.0.0.1:99999"}, &buf); err == nil {
+		t.Fatal("want pprof listen error")
+	}
+}

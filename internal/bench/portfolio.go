@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"respect/internal/models"
+	"respect/internal/perf"
 	"respect/internal/solver"
 )
 
@@ -44,8 +45,12 @@ func PortfolioStudy(ctx context.Context, names []string, stages []int, backendNa
 		}
 		for _, ns := range stages {
 			ictx, cancel := context.WithTimeout(ctx, perInstance)
-			start := time.Now()
-			res, err := solver.Portfolio(ictx, backends, g, ns)
+			var res solver.PortfolioResult
+			elapsed, err := perf.TimeOnce(func() error {
+				var perr error
+				res, perr = solver.Portfolio(ictx, backends, g, ns)
+				return perr
+			})
 			cancel()
 			if err != nil {
 				return nil, err
@@ -54,7 +59,7 @@ func PortfolioStudy(ctx context.Context, names []string, stages []int, backendNa
 				Model: name, Stages: ns,
 				Winner:   res.Backend,
 				PeakMiB:  float64(res.Cost.PeakParamBytes) / (1 << 20),
-				Elapsed:  time.Since(start),
+				Elapsed:  elapsed,
 				Outcomes: res.Outcomes,
 			})
 		}

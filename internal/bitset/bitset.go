@@ -110,6 +110,56 @@ func (s *Set) Intersect(o *Set) {
 	}
 }
 
+// Intersects reports whether s ∩ o is non-empty without materializing the
+// intersection — the word-wise test the exact solver's children-rule inner
+// loop runs per candidate node.
+func (s *Set) Intersects(o *Set) bool {
+	for i, w := range s.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the smallest set bit >= i, or -1 when no such bit
+// exists. It scans whole words, so iterating a sparse set costs
+// O(words + bits) rather than O(capacity).
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> 6
+	w := s.words[wi] >> (uint(i) & 63)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi<<6 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// IntersectsRange reports whether s has any set bit in [lo, hi).
+func (s *Set) IntersectsRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return false
+	}
+	next := s.NextSet(lo)
+	return next >= 0 && next < hi
+}
+
 // ForEach calls f for every set bit in ascending order.
 func (s *Set) ForEach(f func(i int)) {
 	for wi, w := range s.words {
@@ -137,6 +187,20 @@ func (s *Set) Key() string {
 		b.WriteByte(':')
 	}
 	return b.String()
+}
+
+// AppendKey appends a compact binary encoding of the set contents to dst
+// and returns the extended slice. Unlike Key it allocates nothing when dst
+// has capacity, so map probes of the form m[string(buf)] stay on the
+// compiler's no-copy fast path — the exact solver's memoization lookups
+// run through this.
+func (s *Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
 }
 
 // String renders the set like "{1, 4, 7}".

@@ -149,3 +149,117 @@ func TestString(t *testing.T) {
 		t.Errorf("empty String = %q", got)
 	}
 }
+
+func TestIntersects(t *testing.T) {
+	a, b := New(200), New(200)
+	if a.Intersects(b) {
+		t.Fatal("empty sets must not intersect")
+	}
+	a.Set(65)
+	b.Set(66)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets must not intersect")
+	}
+	b.Set(65)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("sets sharing bit 65 must intersect (both directions)")
+	}
+	b.Clear(65)
+	a.Set(199)
+	b.Set(199)
+	if !a.Intersects(b) {
+		t.Fatal("sets sharing the last bit must intersect")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	for _, i := range []int{3, 63, 64, 190, 299} {
+		s.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 63}, {63, 63}, {64, 64},
+		{65, 190}, {191, 299}, {299, 299}, {300, -1}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(10).NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d, want -1", got)
+	}
+}
+
+func TestNextSetMatchesForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(513)
+	var want []int
+	for i := 0; i < 513; i++ {
+		if rng.Intn(9) == 0 {
+			s.Set(i)
+			want = append(want, i)
+		}
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk found %d bits, ForEach-equivalent %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntersectsRange(t *testing.T) {
+	s := New(200)
+	s.Set(64)
+	s.Set(130)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 64, false}, {0, 65, true}, {64, 65, true}, {65, 130, false},
+		{65, 131, true}, {131, 200, false}, {-10, 500, true}, {70, 70, false},
+		{100, 50, false},
+	}
+	for _, c := range cases {
+		if got := s.IntersectsRange(c.lo, c.hi); got != c.want {
+			t.Errorf("IntersectsRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[string]string{}
+	for trial := 0; trial < 200; trial++ {
+		s := New(1 + rng.Intn(150))
+		for i := 0; i < s.Cap(); i++ {
+			if rng.Intn(3) == 0 {
+				s.Set(i)
+			}
+		}
+		bin := string(s.AppendKey(nil))
+		hex := s.Key()
+		if prevHex, ok := seen[bin]; ok && prevHex != hex {
+			t.Fatalf("AppendKey collided across distinct Key() contents: %q vs %q", prevHex, hex)
+		}
+		seen[bin] = hex
+	}
+	// Reusing a buffer must not corrupt earlier contents semantics.
+	s := New(70)
+	s.Set(69)
+	buf := make([]byte, 0, 64)
+	first := string(s.AppendKey(buf[:0]))
+	s.Clear(69)
+	s.Set(0)
+	second := string(s.AppendKey(buf[:0]))
+	if first == second {
+		t.Fatal("distinct sets encoded identically")
+	}
+}

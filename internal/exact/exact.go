@@ -21,6 +21,7 @@ package exact
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"respect/internal/bitset"
@@ -73,30 +74,129 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// scratch is the solver's pooled arena: every per-solve buffer, bit set
+// and memo table lives here and is recycled across solves instead of
+// re-allocated per SolveCtx. All bit sets inside one scratch share a
+// single capacity (capN) so word-wise operations between them are always
+// aligned; a solve of a larger graph grows the arena, a smaller one
+// reslices it.
+type scratch struct {
+	capN int // bit-set capacity every set in this arena was built with
+
+	param  []int64
+	out    []int64
+	stage  []int
+	indeg  []int
+	ready  []int
+	placed []int
+	undo   []int // shared exclusion-undo stack across recursion levels
+	ideal  *bitset.Set
+	excl   []*bitset.Set // per-stage current-segment exclusions
+	closed []*bitset.Set // per-stage snapshots of ideal (children rule)
+	sib    []*bitset.Set // per-node sibling-group masks (children rule)
+	memo   map[string]int64
+	pareto map[string][][2]int64
+	keyBuf []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// memoRetainLimit bounds how large a memo table the pool keeps: clearing
+// a map retains its buckets, which is exactly what repeated solves of
+// similar graphs want, but an occasional huge search must not pin its
+// peak footprint forever.
+const memoRetainLimit = 1 << 18
+
+// acquireScratch returns a reset arena sized for (n, numStages); the
+// children flag additionally prepares per-node sibling masks.
+func acquireScratch(n, numStages int, children bool) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if sc.capN < n || sc.ideal == nil {
+		sc.capN = n
+		sc.ideal = bitset.New(n)
+		sc.excl = sc.excl[:0]
+		sc.closed = sc.closed[:0]
+		sc.sib = sc.sib[:0]
+	}
+	growInt64(&sc.param, n)
+	growInt64(&sc.out, n)
+	growInt(&sc.stage, n)
+	growInt(&sc.indeg, n)
+	sc.ready = sc.ready[:0]
+	sc.placed = sc.placed[:0]
+	sc.undo = sc.undo[:0]
+	sc.ideal.Reset()
+	for len(sc.excl) < numStages {
+		sc.excl = append(sc.excl, bitset.New(sc.capN))
+	}
+	for k := 0; k < numStages; k++ {
+		sc.excl[k].Reset()
+	}
+	if children {
+		for len(sc.closed) < numStages {
+			sc.closed = append(sc.closed, bitset.New(sc.capN))
+		}
+		// closed[k>0] is overwritten by CopyFrom before use; only the
+		// stage-0 snapshot (always the empty ideal) needs a reset here.
+		sc.closed[0].Reset()
+		for len(sc.sib) < n {
+			sc.sib = append(sc.sib, bitset.New(sc.capN))
+		}
+	}
+	if sc.memo == nil {
+		sc.memo = make(map[string]int64)
+	}
+	if sc.pareto == nil {
+		sc.pareto = make(map[string][][2]int64)
+	}
+	return sc
+}
+
+// releaseScratch returns the arena to the pool with its tables cleared,
+// so the next solve can never observe this solve's state.
+func releaseScratch(sc *scratch) {
+	if len(sc.memo) > memoRetainLimit {
+		sc.memo = make(map[string]int64)
+	} else {
+		clear(sc.memo)
+	}
+	if len(sc.pareto) > memoRetainLimit {
+		sc.pareto = make(map[string][][2]int64)
+	} else {
+		clear(sc.pareto)
+	}
+	scratchPool.Put(sc)
+}
+
+func growInt64(buf *[]int64, n int) {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+}
+
+func growInt(buf *[]int, n int) {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+}
+
 type solver struct {
 	g         *graph.Graph
 	numStages int
 	opts      Options
 	ctx       context.Context
 
-	param []int64 // per-node parameter bytes
+	sc    *scratch
 	total int64
 
-	ideal    *bitset.Set   // nodes placed in closed stages or current segment
-	stage    []int         // working stage assignment
-	indeg    []int         // remaining unplaced predecessors
-	ready    []int         // ready nodes (unplaced, all preds placed)
-	excludes []*bitset.Set // per-stage current-segment exclusions
-	placed   []int         // include-order stack of placed nodes
-	out      []int64       // per-node activation bytes
 	tieBreak bool
 	children bool // enforce the children-same-stage hardware rule
 
 	best      sched.Schedule
 	bestPeak  int64
 	bestCost  sched.Cost
-	memo      map[string]int64
-	pareto    map[string][][2]int64 // tie-break mode: (peak, cross) fronts
 	states    int64
 	start     time.Time
 	deadline  time.Time
@@ -118,21 +218,14 @@ func SolveCtx(ctx context.Context, g *graph.Graph, numStages int, opts Options) 
 		numStages = 1
 	}
 	n := g.NumNodes()
+	sc := acquireScratch(n, numStages, opts.ChildrenRule)
+	defer releaseScratch(sc)
 	s := &solver{
 		g: g, numStages: numStages, opts: opts, ctx: ctx,
-		param:    make([]int64, n),
-		out:      make([]int64, n),
-		ideal:    bitset.New(n),
-		stage:    make([]int, n),
-		indeg:    make([]int, n),
-		memo:     make(map[string]int64),
-		pareto:   make(map[string][][2]int64),
+		sc:       sc,
 		tieBreak: opts.TieBreakCross,
 		children: opts.ChildrenRule,
 		start:    time.Now(),
-	}
-	for k := 0; k < numStages; k++ {
-		s.excludes = append(s.excludes, bitset.New(n))
 	}
 	if opts.Timeout > 0 {
 		s.deadline = s.start.Add(opts.Timeout)
@@ -141,12 +234,26 @@ func SolveCtx(ctx context.Context, g *graph.Graph, numStages int, opts Options) 
 		s.deadline = d
 	}
 	for v := 0; v < n; v++ {
-		s.param[v] = g.Node(v).ParamBytes
-		s.out[v] = g.Node(v).OutBytes
-		s.total += s.param[v]
-		s.indeg[v] = len(g.Pred(v))
-		if s.indeg[v] == 0 {
-			s.ready = append(s.ready, v)
+		sc.param[v] = g.Node(v).ParamBytes
+		sc.out[v] = g.Node(v).OutBytes
+		s.total += sc.param[v]
+		sc.indeg[v] = len(g.Pred(v))
+		if sc.indeg[v] == 0 {
+			sc.ready = append(sc.ready, v)
+		}
+	}
+	if s.children {
+		// Sibling-group masks: sib[v] = ∪_{p∈Pred(v)} Succ(p). The mask may
+		// contain v itself; the word-wise checks below never test v's own
+		// bit in a context where it matters (v is unplaced during
+		// siblingsCompatible, and v ∈ ideal during segmentClosable).
+		for v := 0; v < n; v++ {
+			sc.sib[v].Reset()
+			for _, p := range g.Pred(v) {
+				for _, w := range g.Succ(p) {
+					sc.sib[v].Set(w)
+				}
+			}
 		}
 	}
 
@@ -222,27 +329,31 @@ func (s *solver) extend(k int, peak, segMem, placed int64, segStart int, cross i
 	// set realizes the include/exclude dichotomy: once a node has headed
 	// an include branch at this level it is barred from sibling branches,
 	// so every ideal is generated from a canonical decision sequence.
-	excl := s.excludes[k]
-	var cleared []int
+	// Exclusion bits set at this level are recorded on the shared undo
+	// stack above undoMark; recursive calls only unwind their own marks.
+	sc := s.sc
+	excl := sc.excl[k]
+	undoMark := len(sc.undo)
 	defer func() {
-		for _, v := range cleared {
+		for _, v := range sc.undo[undoMark:] {
 			excl.Clear(v)
 		}
+		sc.undo = sc.undo[:undoMark]
 	}()
-	for i := 0; i < len(s.ready); i++ {
-		v := s.ready[i]
+	for i := 0; i < len(sc.ready); i++ {
+		v := sc.ready[i]
 		if excl.Has(v) {
 			continue
 		}
-		if s.children && !s.siblingsCompatible(v, k) {
+		if s.children && sc.sib[v].Intersects(sc.closed[k]) {
 			// A sibling of v is already pinned to an earlier stage; v can
 			// never join stage k (nor any other), so bar it from this
 			// segment.
 			excl.Set(v)
-			cleared = append(cleared, v)
+			sc.undo = append(sc.undo, v)
 			continue
 		}
-		segNew := segMem + s.param[v]
+		segNew := segMem + sc.param[v]
 		prunedByPeak := segNew > s.bestPeak
 		if !s.tieBreak && segNew == s.bestPeak {
 			prunedByPeak = true
@@ -251,43 +362,43 @@ func (s *solver) extend(k int, peak, segMem, placed int64, segStart int, cross i
 			// Including v cannot strictly improve the incumbent; bar it
 			// from this segment but keep it available for later stages.
 			excl.Set(v)
-			cleared = append(cleared, v)
+			sc.undo = append(sc.undo, v)
 			continue
 		}
 
 		// Include v into stage k. The removal keeps list order so the
 		// post-recursion undo can pop the newly-ready nodes from the tail
 		// and reinsert v at position i, restoring the list exactly.
-		s.ideal.Set(v)
-		s.stage[v] = k
-		s.placed = append(s.placed, v)
-		s.ready = append(s.ready[:i], s.ready[i+1:]...)
+		sc.ideal.Set(v)
+		sc.stage[v] = k
+		sc.placed = append(sc.placed, v)
+		sc.ready = append(sc.ready[:i], sc.ready[i+1:]...)
 		for _, w := range s.g.Succ(v) {
-			s.indeg[w]--
-			if s.indeg[w] == 0 {
-				s.ready = append(s.ready, w)
+			sc.indeg[w]--
+			if sc.indeg[w] == 0 {
+				sc.ready = append(sc.ready, w)
 			}
 		}
 
-		s.extend(k, peak, segNew, placed+s.param[v], segStart, cross)
+		s.extend(k, peak, segNew, placed+sc.param[v], segStart, cross)
 
 		// Undo in reverse.
 		succ := s.g.Succ(v)
 		for j := len(succ) - 1; j >= 0; j-- {
 			w := succ[j]
-			if s.indeg[w] == 0 {
-				s.ready = s.ready[:len(s.ready)-1]
+			if sc.indeg[w] == 0 {
+				sc.ready = sc.ready[:len(sc.ready)-1]
 			}
-			s.indeg[w]++
+			sc.indeg[w]++
 		}
-		s.ready = append(s.ready, 0)
-		copy(s.ready[i+1:], s.ready[i:len(s.ready)-1])
-		s.ready[i] = v
-		s.placed = s.placed[:len(s.placed)-1]
-		s.ideal.Clear(v)
+		sc.ready = append(sc.ready, 0)
+		copy(sc.ready[i+1:], sc.ready[i:len(sc.ready)-1])
+		sc.ready[i] = v
+		sc.placed = sc.placed[:len(sc.placed)-1]
+		sc.ideal.Clear(v)
 
 		excl.Set(v)
-		cleared = append(cleared, v)
+		sc.undo = append(sc.undo, v)
 		if s.budgetExceeded() {
 			return
 		}
@@ -297,8 +408,16 @@ func (s *solver) extend(k int, peak, segMem, placed int64, segStart int, cross i
 // closeStage finalizes stage k at the current ideal and recurses into the
 // next stage, or materializes the final-stage leaf.
 func (s *solver) closeStage(k int, peak, segMem, placed int64, segStart int, cross int64) {
-	if s.children && !s.segmentClosable(segStart, k) {
-		return
+	sc := s.sc
+	if s.children {
+		// Closing the segment must leave no sibling group split between this
+		// stage and unplaced nodes: every placed node's whole sibling group
+		// must already be inside the ideal.
+		for _, v := range sc.placed[segStart:] {
+			if !sc.sib[v].SubsetOf(sc.ideal) {
+				return
+			}
+		}
 	}
 	newPeak := peak
 	if segMem > newPeak {
@@ -311,10 +430,10 @@ func (s *solver) closeStage(k int, peak, segMem, placed int64, segStart int, cro
 	if s.tieBreak {
 		// Producers in this segment whose consumers lie beyond the ideal
 		// ship their output tensor over USB (counted once per producer).
-		for _, v := range s.placed[segStart:] {
+		for _, v := range sc.placed[segStart:] {
 			for _, w := range s.g.Succ(v) {
-				if !s.ideal.Has(w) {
-					newCross += s.out[v]
+				if !sc.ideal.Has(w) {
+					newCross += sc.out[v]
 					break
 				}
 			}
@@ -351,10 +470,10 @@ func (s *solver) closeStage(k int, peak, segMem, placed int64, segStart int, cro
 		} else if finalPeak >= s.bestPeak {
 			return
 		}
-		leaf := sched.NewSchedule(len(s.stage), s.numStages)
-		for v := range s.stage {
-			if s.ideal.Has(v) {
-				leaf.Stage[v] = s.stage[v]
+		leaf := sched.NewSchedule(len(sc.stage), s.numStages)
+		for v := range sc.stage {
+			if sc.ideal.Has(v) {
+				leaf.Stage[v] = sc.stage[v]
 			} else {
 				leaf.Stage[v] = s.numStages - 1
 			}
@@ -368,11 +487,15 @@ func (s *solver) closeStage(k int, peak, segMem, placed int64, segStart int, cro
 		return
 	}
 
-	key := s.ideal.Key() + string(rune('0'+k))
+	// Memo key: raw ideal words plus the stage index, probed through the
+	// compiler's no-copy m[string(buf)] fast path. The buffer is only
+	// materialized into a string on insert.
+	sc.keyBuf = sc.ideal.AppendKey(sc.keyBuf[:0])
+	sc.keyBuf = append(sc.keyBuf, byte(k), byte(k>>8))
 	if s.tieBreak {
 		// Pareto memo: a previous visit dominating on both peak and cross
 		// has already explored every completion at least as well.
-		front := s.pareto[key]
+		front := sc.pareto[string(sc.keyBuf)]
 		for _, p := range front {
 			if p[0] <= newPeak && p[1] <= newCross {
 				return
@@ -384,49 +507,21 @@ func (s *solver) closeStage(k int, peak, segMem, placed int64, segStart int, cro
 				kept = append(kept, p)
 			}
 		}
-		s.pareto[key] = append(kept, [2]int64{newPeak, newCross})
+		sc.pareto[string(sc.keyBuf)] = append(kept, [2]int64{newPeak, newCross})
 	} else {
 		// Memo cut: if this (ideal, stage) was reached before with a peak
 		// no worse, the earlier visit explored a superset of completions.
-		if prev, ok := s.memo[key]; ok && prev <= newPeak {
+		if prev, ok := sc.memo[string(sc.keyBuf)]; ok && prev <= newPeak {
 			return
 		}
-		s.memo[key] = newPeak
+		sc.memo[string(sc.keyBuf)] = newPeak
 	}
 
-	s.excludes[k+1].Reset()
-	s.extend(k+1, newPeak, 0, placed, len(s.placed), newCross)
-}
-
-// siblingsCompatible reports whether placing v into stage k keeps every
-// already-placed sibling of v (child of a shared parent) in the same
-// stage k.
-func (s *solver) siblingsCompatible(v, k int) bool {
-	for _, p := range s.g.Pred(v) {
-		for _, w := range s.g.Succ(p) {
-			if w != v && s.ideal.Has(w) && s.stage[w] != k {
-				return false
-			}
-		}
+	sc.excl[k+1].Reset()
+	if s.children {
+		sc.closed[k+1].CopyFrom(sc.ideal)
 	}
-	return true
-}
-
-// segmentClosable reports whether closing the current segment leaves no
-// sibling group split between this stage and unplaced nodes. Nodes placed
-// in this segment whose siblings are still unplaced would force those
-// siblings into strictly later stages — a children-rule violation.
-func (s *solver) segmentClosable(segStart, k int) bool {
-	for _, v := range s.placed[segStart:] {
-		for _, p := range s.g.Pred(v) {
-			for _, w := range s.g.Succ(p) {
-				if !s.ideal.Has(w) {
-					return false
-				}
-			}
-		}
-	}
-	return true
+	s.extend(k+1, newPeak, 0, placed, len(sc.placed), newCross)
 }
 
 // BruteForce exhaustively enumerates all monotone stage assignments; for

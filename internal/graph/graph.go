@@ -281,6 +281,15 @@ func (g *Graph) Topo() []int {
 	return out
 }
 
+// TopoView returns the graph's memoized topological order without copying.
+// Like Succ and Pred, the returned slice must not be modified; it is the
+// allocation-free variant of Topo for solver hot paths that walk the order
+// on every request.
+func (g *Graph) TopoView() []int {
+	g.mustBuilt()
+	return g.topo
+}
+
 // ASAP returns the as-soon-as-possible level of v (sources at 0). This is
 // the "absolute coordinate" of the paper's embedding.
 func (g *Graph) ASAP(v int) int {

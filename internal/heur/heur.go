@@ -23,7 +23,7 @@ import (
 // total/n. This is the documented behaviour of coral's --num_segments
 // splitter and the paper's "heuristic method" baseline.
 func GreedyBalanced(g *graph.Graph, numStages int) sched.Schedule {
-	s, err := sched.SequenceToSchedule(g, g.Topo(), numStages)
+	s, err := sched.SequenceToSchedule(g, g.TopoView(), numStages)
 	if err != nil {
 		// Topo order over the graph's own nodes cannot fail validation.
 		panic("heur: GreedyBalanced: " + err.Error())
@@ -57,7 +57,7 @@ func ListSchedule(g *graph.Graph, numStages int) sched.Schedule {
 	n := g.NumNodes()
 	// Critical-path-to-sink length per node (in MACs-weighted ops).
 	cp := make([]int64, n)
-	topo := g.Topo()
+	topo := g.TopoView()
 	for i := n - 1; i >= 0; i-- {
 		v := topo[i]
 		var best int64
@@ -129,7 +129,7 @@ func ForceDirected(g *graph.Graph, numStages int) sched.Schedule {
 
 	// Place in topological order (parents first) so the feasible window is
 	// known; most-constrained ordering is approximated by topo position.
-	for _, v := range g.Topo() {
+	for _, v := range g.TopoView() {
 		lo := 0
 		for _, p := range g.Pred(v) {
 			if s.Stage[p] > lo {
@@ -171,7 +171,7 @@ func ForceDirected(g *graph.Graph, numStages int) sched.Schedule {
 // making it both a strong heuristic and the incumbent seed for the exact
 // solver's branch and bound.
 func DPBudget(g *graph.Graph, numStages int) sched.Schedule {
-	return DPBudgetOrder(g, g.Topo(), numStages)
+	return DPBudgetOrder(g, g.TopoView(), numStages)
 }
 
 // DPBudgetOrder is DPBudget over a caller-supplied linear extension; it
@@ -189,7 +189,7 @@ func DPBudgetOrder(g *graph.Graph, order []int, numStages int) sched.Schedule {
 // point by one position; acceptance follows the Metropolis rule on the
 // lexicographic (peak, cross) objective scalarized in bytes.
 func Annealed(g *graph.Graph, numStages int, steps int, seed int64) sched.Schedule {
-	order := g.Topo()
+	order := g.TopoView()
 	n := len(order)
 	rng := rand.New(rand.NewSource(seed))
 

@@ -1,0 +1,104 @@
+package perf
+
+import (
+	"testing"
+
+	"respect/internal/exact"
+	"respect/internal/heur"
+	"respect/internal/models"
+)
+
+// AllocResult is one hot path's allocation profile, measured with
+// testing.Benchmark so BENCH_*.json and "go test -bench" report through
+// the identical mechanism.
+type AllocResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// allocProbe is one named allocation benchmark.
+type allocProbe struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// allocProbes defines the tracked hot paths. Each closure is exactly the
+// body the corresponding bench_test.go benchmark runs — one methodology,
+// two entry points.
+func allocProbes() []allocProbe {
+	big := models.MustLoad("ResNet152")
+	small := models.MustLoad("Xception")
+	evalSched := heur.DPBudget(big, 6)
+	return []allocProbe{
+		{"exact.SolveCtx", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := exact.Solve(small, 4, exact.Options{MaxStates: 50_000_000})
+				if !res.Optimal {
+					b.Fatal("truncated exact solve in alloc probe")
+				}
+			}
+		}},
+		{"heur.DPBudget", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				heur.DPBudget(big, 6)
+			}
+		}},
+		{"sched.Evaluate", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evalSched.Evaluate(big)
+			}
+		}},
+		{"graph.Fingerprint", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				big.Fingerprint()
+			}
+		}},
+	}
+}
+
+// AllocProbe runs the named tracked hot path inside a caller-provided
+// *testing.B — this is what bench_test.go mounts, so the go test
+// benchmarks and the harness share one body per path.
+func AllocProbe(name string, b *testing.B) bool {
+	for _, p := range allocProbes() {
+		if p.name == name {
+			p.fn(b)
+			return true
+		}
+	}
+	return false
+}
+
+// AllocProbeNames lists the tracked hot paths in report order.
+func AllocProbeNames() []string {
+	var out []string
+	for _, p := range allocProbes() {
+		out = append(out, p.name)
+	}
+	return out
+}
+
+// MeasureAllocs runs every tracked hot path under testing.Benchmark.
+func MeasureAllocs() []AllocResult {
+	var out []AllocResult
+	for _, p := range allocProbes() {
+		r := testing.Benchmark(p.fn)
+		out = append(out, AllocResult{
+			Name:        p.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package perf is the benchmark trajectory harness: one methodology for
+// measuring solver latency, allocation behaviour and serving throughput,
+// shared by cmd/respect-perf (which emits the schema-stable BENCH_*.json
+// trajectory artifacts), the go test benchmarks in bench_test.go, and the
+// internal/bench backend studies — so "go test -bench" and the checked-in
+// BENCH files can never disagree about how a number was produced.
+package perf
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/models"
+	"respect/internal/sched"
+	"respect/internal/solver"
+	"respect/internal/synth"
+)
+
+// SolverResult is one backend×graph×stages cell of the solve-latency
+// matrix. Cost fields double as a schema-stable output check: a trajectory
+// diff that moves PeakParamBytes means solver behaviour changed, not just
+// speed.
+type SolverResult struct {
+	Backend          string  `json:"backend"`
+	Graph            string  `json:"graph"`
+	Nodes            int     `json:"nodes"`
+	Stages           int     `json:"stages"`
+	Iters            int     `json:"iters"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	GraphsPerSecCore float64 `json:"graphs_per_sec_core"`
+	PeakParamBytes   int64   `json:"peak_param_bytes"`
+	CrossBytes       int64   `json:"cross_bytes"`
+}
+
+// Timing is the raw outcome of timing a function repeatedly.
+type Timing struct {
+	Iters   int
+	Total   time.Duration
+	Samples []time.Duration // sorted ascending
+}
+
+// P returns the q-quantile (q in [0,1]) of the sorted samples by the
+// nearest-rank method; deterministic for a fixed sample set.
+func (t Timing) P(q float64) time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(t.Samples))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.Samples) {
+		i = len(t.Samples) - 1
+	}
+	return t.Samples[i]
+}
+
+// PerSecond returns single-core operations per second over the run.
+func (t Timing) PerSecond() float64 {
+	if t.Total <= 0 {
+		return 0
+	}
+	return float64(t.Iters) / t.Total.Seconds()
+}
+
+// Time runs fn iters times on the calling goroutine after one untimed
+// warm-up call, returning sorted per-call latencies. This is the single
+// timing primitive every harness entry point uses.
+func Time(iters int, fn func() error) (Timing, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	if err := fn(); err != nil {
+		return Timing{}, err
+	}
+	samples := make([]time.Duration, iters)
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Timing{}, err
+		}
+		d := time.Since(start)
+		samples[i] = d
+		total += d
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return Timing{Iters: iters, Total: total, Samples: samples}, nil
+}
+
+// TimeOnce times a single cold call of fn — no warm-up, for callers whose
+// subject is budget-bound (an anytime search runs to its deadline; a
+// warm-up call would double it). Single-shot latencies belong in study
+// tables, never in trajectory percentiles.
+func TimeOnce(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// MeasureScheduler times iters full solves of g by backend b on a single
+// core and records the (deterministic) schedule cost alongside.
+func MeasureScheduler(ctx context.Context, b solver.Scheduler, g *graph.Graph, stages, iters int) (SolverResult, error) {
+	var last sched.Schedule
+	t, err := Time(iters, func() error {
+		s, err := b.Schedule(ctx, g, stages)
+		if err != nil {
+			return err
+		}
+		last = s
+		return nil
+	})
+	if err != nil {
+		return SolverResult{}, fmt.Errorf("perf: backend %q on %s: %w", b.Name(), g.Name, err)
+	}
+	cost := last.Evaluate(g)
+	return SolverResult{
+		Backend:          b.Name(),
+		Graph:            g.Name,
+		Nodes:            g.NumNodes(),
+		Stages:           stages,
+		Iters:            t.Iters,
+		P50Micros:        micros(t.P(0.50)),
+		P99Micros:        micros(t.P(0.99)),
+		GraphsPerSecCore: t.PerSecond(),
+		PeakParamBytes:   cost.PeakParamBytes,
+		CrossBytes:       cost.CrossBytes,
+	}, nil
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// SuiteConfig selects the solver sweep: which backends, over which zoo
+// models and synthetic graph sizes, at which stage count.
+type SuiteConfig struct {
+	// Backends are registry names; empty uses DefaultBackends().
+	Backends []string
+	// Models are zoo names; empty uses DefaultModels().
+	Models []string
+	// SynthSizes lists synthetic |V| values swept in addition to the zoo
+	// (sampled deterministically; empty uses DefaultSynthSizes()).
+	SynthSizes []int
+	// Stages is the pipeline length (0 = 4, the paper's smallest).
+	Stages int
+	// Iters is the per-cell iteration count (0 = 50). Fixed counts, not
+	// time targets, keep the trajectory comparable across machines.
+	Iters int
+}
+
+// DefaultBackends is the trajectory's backend set: the deployed heuristic
+// path, the compiler-style greedy baseline, and the exact solver — the
+// three hot paths this harness exists to track.
+func DefaultBackends() []string { return []string{"heur", "compiler", "exact"} }
+
+// DefaultModels spans the zoo's size range without paying for all twelve
+// models on every CI run.
+func DefaultModels() []string {
+	return []string{"MobileNet", "Xception", "ResNet152", "DenseNet201"}
+}
+
+// DefaultSynthSizes sweeps synthetic graphs beyond zoo scale.
+func DefaultSynthSizes() []int { return []int{30, 60, 120, 240} }
+
+// SynthGraph returns the deterministic synthetic benchmark graph with n
+// nodes: sampler seed fixed by n, so every harness run and every future
+// trajectory point measures the same instance.
+func SynthGraph(n int) (*graph.Graph, error) {
+	cfg := synth.DefaultConfig(4)
+	cfg.NumNodes = n
+	s, err := synth.NewSampler(cfg, int64(n)*7919)
+	if err != nil {
+		return nil, err
+	}
+	return s.Sample(), nil
+}
+
+// exactSynthNodeCap bounds exact-family cells on synthetic graphs: dense
+// random DAGs past ~30 nodes push the branch-and-bound into seconds per
+// solve (zoo models, being thin, close in well under a millisecond), which
+// no fixed-iteration trajectory can afford. Skipped cells are reported in
+// the suite's notes — never dropped silently.
+const exactSynthNodeCap = 30
+
+// RunSolverSuite measures every configured backend over every configured
+// graph. Cells where a backend errors (e.g. an unregistered RL agent)
+// fail the suite: the trajectory must cover everything it claims. The
+// returned notes document any cells the suite intentionally skipped.
+func RunSolverSuite(ctx context.Context, cfg SuiteConfig) ([]SolverResult, []string, error) {
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = DefaultBackends()
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = DefaultModels()
+	}
+	if cfg.SynthSizes == nil {
+		cfg.SynthSizes = DefaultSynthSizes()
+	}
+	if cfg.Stages == 0 {
+		cfg.Stages = 4
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 50
+	}
+	backends, err := solver.Resolve(cfg.Backends...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var graphs []*graph.Graph
+	synthetic := map[string]bool{}
+	for _, name := range cfg.Models {
+		g, err := models.Load(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		graphs = append(graphs, g)
+	}
+	for _, n := range cfg.SynthSizes {
+		g, err := SynthGraph(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		synthetic[g.Name] = true
+		graphs = append(graphs, g)
+	}
+	var out []SolverResult
+	var notes []string
+	for _, b := range backends {
+		exactFamily := b.Name() == "exact" || b.Name() == "exact-ilp-grade" || b.Name() == "ilp"
+		for _, g := range graphs {
+			if exactFamily && synthetic[g.Name] && g.NumNodes() > exactSynthNodeCap {
+				notes = append(notes, fmt.Sprintf(
+					"skipped %s on %s: exact-family cells capped at %d synthetic nodes",
+					b.Name(), g.Name, exactSynthNodeCap))
+				continue
+			}
+			r, err := MeasureScheduler(ctx, b, g, cfg.Stages, cfg.Iters)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, notes, nil
+}

@@ -1,0 +1,234 @@
+package perf
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"respect/internal/models"
+	"respect/internal/solver"
+)
+
+func TestTimingPercentiles(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	tm := Timing{Iters: 100, Total: time.Second, Samples: samples}
+	if got := tm.P(0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := tm.P(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := tm.P(1.0); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := tm.P(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := tm.PerSecond(); got != 100 {
+		t.Fatalf("per-second = %v", got)
+	}
+}
+
+func TestMeasureSchedulerDeterministicCost(t *testing.T) {
+	b, err := solver.Lookup("heur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := models.MustLoad("Xception")
+	r1, err := MeasureScheduler(context.Background(), b, g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MeasureScheduler(context.Background(), b, g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PeakParamBytes != r2.PeakParamBytes || r1.CrossBytes != r2.CrossBytes {
+		t.Fatalf("deterministic backend produced different costs: %+v vs %+v", r1, r2)
+	}
+	if r1.Backend != "heur" || r1.Graph != "Xception" || r1.Nodes != g.NumNodes() || r1.Iters != 5 {
+		t.Fatalf("result metadata wrong: %+v", r1)
+	}
+	if r1.GraphsPerSecCore <= 0 || r1.P50Micros <= 0 || r1.P99Micros < r1.P50Micros {
+		t.Fatalf("implausible timing: %+v", r1)
+	}
+}
+
+func TestRunSolverSuiteSmall(t *testing.T) {
+	results, notes, err := RunSolverSuite(context.Background(), SuiteConfig{
+		Backends:   []string{"heur", "exact"},
+		Models:     []string{"MobileNet"},
+		SynthSizes: []int{20, 60},
+		Stages:     4,
+		Iters:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// heur: MobileNet + synth-20 + synth-60; exact: MobileNet + synth-20
+	// (synth-60 is over the exact synthetic cap and must land in notes).
+	if len(results) != 5 {
+		t.Fatalf("got %d cells: %+v", len(results), results)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("want 1 skip note, got %v", notes)
+	}
+	for _, r := range results {
+		if r.GraphsPerSecCore <= 0 {
+			t.Fatalf("cell without throughput: %+v", r)
+		}
+	}
+}
+
+func TestSynthGraphDeterministic(t *testing.T) {
+	a, err := SynthGraph(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthGraph(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("SynthGraph is not deterministic")
+	}
+	if a.NumNodes() != 40 {
+		t.Fatalf("nodes = %d", a.NumNodes())
+	}
+}
+
+func TestMeasureAllocsHotPathsStayLean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark is slow")
+	}
+	results := MeasureAllocs()
+	if len(results) != len(AllocProbeNames()) {
+		t.Fatalf("got %d probes, want %d", len(results), len(AllocProbeNames()))
+	}
+	byName := map[string]AllocResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	// These ceilings are the point of the PR: the hot paths must stay
+	// allocation-free (or nearly so) on repeat calls. They are loose
+	// enough to not flake, tight enough that a reverted pool fails.
+	ceilings := map[string]int64{
+		"exact.SolveCtx":    64, // pre-optimization: 567
+		"heur.DPBudget":     4,  // pre-optimization: 21
+		"sched.Evaluate":    0,  // pre-optimization: 1
+		"graph.Fingerprint": 0,
+	}
+	for name, ceil := range ceilings {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("probe %q missing", name)
+		}
+		if r.AllocsPerOp > ceil {
+			t.Errorf("%s allocates %d/op, ceiling %d", name, r.AllocsPerOp, ceil)
+		}
+	}
+}
+
+func TestServingReplaySmall(t *testing.T) {
+	res, err := ServingReplay(context.Background(), ServingConfig{
+		Models:   []string{"MobileNet", "Xception"},
+		Stages:   4,
+		Workers:  4,
+		Requests: 200,
+		SLO:      50 * time.Millisecond,
+		Warm:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests+res.Rejected != 200 {
+		t.Fatalf("accounting: %d ok + %d rejected != 200", res.Requests, res.Rejected)
+	}
+	if res.ThroughputRPS <= 0 || res.P99Micros < res.P50Micros {
+		t.Fatalf("implausible replay: %+v", res)
+	}
+	if res.Class != "interactive" || res.SLOMicros != 50_000 {
+		t.Fatalf("config not reflected: %+v", res)
+	}
+}
+
+func TestReportRoundTripAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := NewReport("BENCH_old")
+	old.Solver = []SolverResult{
+		{Backend: "heur", Graph: "X", Stages: 4, P50Micros: 100, GraphsPerSecCore: 1000},
+		{Backend: "exact", Graph: "X", Stages: 4, P50Micros: 500, GraphsPerSecCore: 200},
+	}
+	old.Alloc = []AllocResult{{Name: "heur.DPBudget", AllocsPerOp: 10, BytesPerOp: 1000}}
+	old.Serving = []ServingResult{{Class: "interactive", Stages: 4, Workers: 8, P99Micros: 900, ThroughputRPS: 5000}}
+	path := filepath.Join(dir, "old.json")
+	if err := old.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Solver) != 2 || back.Label != "BENCH_old" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// Identical reports: no regressions at any threshold.
+	if regs := Compare(old, back, 0.15); len(regs) != 0 {
+		t.Fatalf("self-compare flagged %v", regs)
+	}
+
+	// Degrade latency 2x, allocs 3x, serving throughput halved.
+	worse := *back
+	worse.Solver = append([]SolverResult(nil), back.Solver...)
+	for i := range worse.Solver {
+		if worse.Solver[i].Backend == "heur" {
+			worse.Solver[i].P50Micros = 200
+			worse.Solver[i].GraphsPerSecCore = 500
+		}
+	}
+	worse.Alloc = []AllocResult{{Name: "heur.DPBudget", AllocsPerOp: 30, BytesPerOp: 1000}}
+	worse.Serving = []ServingResult{{Class: "interactive", Stages: 4, Workers: 8, P99Micros: 950, ThroughputRPS: 2500}}
+	regs := Compare(old, &worse, 0.15)
+	metrics := map[string]bool{}
+	for _, r := range regs {
+		metrics[r.Metric] = true
+		if r.Ratio <= 1.15 {
+			t.Fatalf("regression with ratio %v should not be flagged: %+v", r.Ratio, r)
+		}
+	}
+	for _, want := range []string{"solver.p50_us", "solver.graphs_per_sec_core", "alloc.allocs_per_op", "serving.throughput_rps"} {
+		if !metrics[want] {
+			t.Fatalf("missing regression %q in %v", want, regs)
+		}
+	}
+	if metrics["serving.p99_us"] {
+		t.Fatalf("p99 within threshold flagged: %v", regs)
+	}
+	// Improvements never flag.
+	if regs := Compare(&worse, old, 0.15); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// Cells only in one report are ignored.
+	extra := *old
+	extra.Solver = append([]SolverResult(nil), old.Solver...)
+	extra.Solver = append(extra.Solver, SolverResult{Backend: "new", Graph: "Y", Stages: 4, P50Micros: 1})
+	if regs := Compare(old, &extra, 0.15); len(regs) != 0 {
+		t.Fatalf("new cell flagged: %v", regs)
+	}
+
+	// Schema mismatches are read errors.
+	bad := filepath.Join(dir, "bad.json")
+	old.SchemaVersion = 99
+	if err := old.WriteJSON(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil {
+		t.Fatal("want schema version error")
+	}
+}

@@ -1,0 +1,177 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Comparing reports
+// across schema versions is an error, not a silent best-effort.
+const SchemaVersion = 1
+
+// Report is the schema-stable trajectory artifact (BENCH_<pr>.json): one
+// solver-latency matrix, one allocation profile, one serving replay.
+// Environment fields contextualize cross-machine diffs; the comparator
+// warns rather than fails when they differ.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Label         string `json:"label"` // e.g. "BENCH_6"
+	GoVersion     string `json:"go_version"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// CreatedAt is an ISO-8601 stamp; informational only and ignored by
+	// the comparator.
+	CreatedAt string `json:"created_at,omitempty"`
+
+	Solver  []SolverResult  `json:"solver"`
+	Alloc   []AllocResult   `json:"alloc"`
+	Serving []ServingResult `json:"serving"`
+	// Notes records intentional coverage gaps (skipped cells) so a
+	// trajectory never implies measurements it did not take.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// NewReport stamps the runtime environment into an empty report.
+func NewReport(label string) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Label:         label,
+		GoVersion:     runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+	}
+}
+
+// WriteJSON writes the report, stably ordered and human-diffable.
+func (r *Report) WriteJSON(path string) error {
+	r.sortForStability()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func (r *Report) sortForStability() {
+	sort.Slice(r.Solver, func(i, j int) bool {
+		a, b := r.Solver[i], r.Solver[j]
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		if a.Graph != b.Graph {
+			return a.Graph < b.Graph
+		}
+		return a.Stages < b.Stages
+	})
+	sort.Slice(r.Alloc, func(i, j int) bool { return r.Alloc[i].Name < r.Alloc[j].Name })
+	sort.Strings(r.Notes)
+}
+
+// ReadReport loads and schema-checks a trajectory artifact.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema_version %d, this build expects %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that moved past the comparator's threshold
+// between two trajectory points.
+type Regression struct {
+	Metric string  `json:"metric"` // "solver.p50", "alloc.allocs", ...
+	Key    string  `json:"key"`    // e.g. "heur/ResNet152/4"
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is New/Old for higher-is-worse metrics and Old/New for
+	// higher-is-better ones, so > 1+threshold always means "regressed".
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.2fx)", r.Metric, r.Key, r.Old, r.New, r.Ratio)
+}
+
+// Compare diffs two reports and returns the metrics that regressed past
+// threshold (e.g. 0.15 = fail on >15% worse). Latency and throughput use
+// threshold as-is; allocation counts, being deterministic, use the same
+// bar but will typically only trip on real regressions. Cells present in
+// only one report are ignored — coverage changes are reviewed via Notes
+// and the diff itself, not flagged as performance regressions.
+func Compare(old, new *Report, threshold float64) []Regression {
+	var regs []Regression
+	worse := func(metric, key string, oldV, newV float64) {
+		if oldV <= 0 {
+			return
+		}
+		ratio := newV / oldV
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Metric: metric, Key: key, Old: oldV, New: newV, Ratio: ratio})
+		}
+	}
+	better := func(metric, key string, oldV, newV float64) {
+		if newV <= 0 {
+			return
+		}
+		ratio := oldV / newV
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Metric: metric, Key: key, Old: oldV, New: newV, Ratio: ratio})
+		}
+	}
+
+	oldSolver := map[string]SolverResult{}
+	for _, s := range old.Solver {
+		oldSolver[fmt.Sprintf("%s/%s/%d", s.Backend, s.Graph, s.Stages)] = s
+	}
+	for _, s := range new.Solver {
+		key := fmt.Sprintf("%s/%s/%d", s.Backend, s.Graph, s.Stages)
+		o, ok := oldSolver[key]
+		if !ok {
+			continue
+		}
+		worse("solver.p50_us", key, o.P50Micros, s.P50Micros)
+		better("solver.graphs_per_sec_core", key, o.GraphsPerSecCore, s.GraphsPerSecCore)
+	}
+
+	oldAlloc := map[string]AllocResult{}
+	for _, a := range old.Alloc {
+		oldAlloc[a.Name] = a
+	}
+	for _, a := range new.Alloc {
+		o, ok := oldAlloc[a.Name]
+		if !ok {
+			continue
+		}
+		worse("alloc.allocs_per_op", a.Name, float64(o.AllocsPerOp), float64(a.AllocsPerOp))
+		worse("alloc.bytes_per_op", a.Name, float64(o.BytesPerOp), float64(a.BytesPerOp))
+	}
+
+	oldServing := map[string]ServingResult{}
+	for _, s := range old.Serving {
+		oldServing[fmt.Sprintf("%s/%d/%d", s.Class, s.Stages, s.Workers)] = s
+	}
+	for _, s := range new.Serving {
+		key := fmt.Sprintf("%s/%d/%d", s.Class, s.Stages, s.Workers)
+		o, ok := oldServing[key]
+		if !ok {
+			continue
+		}
+		worse("serving.p99_us", key, o.P99Micros, s.P99Micros)
+		better("serving.throughput_rps", key, o.ThroughputRPS, s.ThroughputRPS)
+	}
+	return regs
+}

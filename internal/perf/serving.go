@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"respect/internal/serve"
+)
+
+// ServingResult is the serving-path point of the trajectory: a closed-loop
+// replay against an in-process server at a fixed SLO.
+type ServingResult struct {
+	Class         string  `json:"class"`
+	Models        string  `json:"models"` // comma-joined request mix
+	Stages        int     `json:"stages"`
+	Workers       int     `json:"workers"`
+	Requests      int     `json:"requests"`
+	Rejected      int     `json:"rejected"` // admission-control 429/503s
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+	SLOMicros     float64 `json:"slo_us"`
+	WithinSLO     bool    `json:"within_slo"`
+}
+
+// ServingConfig configures the replay.
+type ServingConfig struct {
+	// Models is the request mix, cycled round-robin (empty uses
+	// DefaultModels()).
+	Models []string
+	// Stages per request (0 = 4).
+	Stages int
+	// Class is the request class (empty = interactive, the latency-bound
+	// class whose p99 the trajectory tracks).
+	Class string
+	// Workers is the closed-loop client count (0 = 8).
+	Workers int
+	// Requests is the total request count across workers (0 = 2000).
+	Requests int
+	// SLO is the p99 target the replay is judged against (0 = 50ms, the
+	// interactive class budget).
+	SLO time.Duration
+	// Warm pre-populates the cache with the request mix before the clock
+	// starts — the steady-state serving measurement. False measures the
+	// cold path.
+	Warm bool
+}
+
+// ServingReplay boots an in-process serve.Server (no sockets: requests go
+// straight through Server.ServeHTTP) and drives the configured closed
+// loop against it.
+func ServingReplay(ctx context.Context, cfg ServingConfig) (ServingResult, error) {
+	if len(cfg.Models) == 0 {
+		cfg.Models = DefaultModels()
+	}
+	if cfg.Stages == 0 {
+		cfg.Stages = 4
+	}
+	if cfg.Class == "" {
+		cfg.Class = "interactive"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 2000
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 50 * time.Millisecond
+	}
+
+	warm := []string{}
+	if cfg.Warm {
+		warm = cfg.Models
+	}
+	srv, err := serve.New(serve.Config{
+		Stages:         cfg.Stages,
+		CacheSize:      256,
+		WarmModels:     warm,
+		DisableMetrics: true,
+		Logf:           func(string, ...any) {},
+	})
+	if err != nil {
+		return ServingResult{}, err
+	}
+	if cfg.Warm {
+		if _, err := srv.WarmUp(ctx); err != nil {
+			return ServingResult{}, err
+		}
+	}
+
+	bodies := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		bodies[i] = fmt.Sprintf(`{"model":%q,"stages":%d,"class":%q}`, m, cfg.Stages, cfg.Class)
+	}
+
+	var (
+		mu       sync.Mutex
+		latency  []time.Duration
+		rejected int
+		firstErr error
+	)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Requests; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, cfg.Requests/cfg.Workers+1)
+			localRej := 0
+			var localErr error
+			for i := range next {
+				body := bodies[i%len(bodies)]
+				req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				srv.ServeHTTP(rec, req)
+				d := time.Since(t0)
+				switch rec.Code {
+				case http.StatusOK:
+					local = append(local, d)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					localRej++
+				default:
+					if localErr == nil {
+						localErr = fmt.Errorf("perf: replay request got %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+			}
+			mu.Lock()
+			latency = append(latency, local...)
+			rejected += localRej
+			if firstErr == nil {
+				firstErr = localErr
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ServingResult{}, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return ServingResult{}, err
+	}
+	if len(latency) == 0 {
+		return ServingResult{}, fmt.Errorf("perf: replay completed 0 requests (%d rejected)", rejected)
+	}
+	sort.Slice(latency, func(a, b int) bool { return latency[a] < latency[b] })
+	t := Timing{Iters: len(latency), Total: elapsed, Samples: latency}
+	p99 := t.P(0.99)
+	return ServingResult{
+		Class:         cfg.Class,
+		Models:        strings.Join(cfg.Models, ","),
+		Stages:        cfg.Stages,
+		Workers:       cfg.Workers,
+		Requests:      len(latency),
+		Rejected:      rejected,
+		ThroughputRPS: float64(len(latency)) / elapsed.Seconds(),
+		P50Micros:     micros(t.P(0.50)),
+		P99Micros:     micros(p99),
+		SLOMicros:     micros(cfg.SLO),
+		WithinSLO:     p99 <= cfg.SLO,
+	}, nil
+}

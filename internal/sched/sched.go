@@ -8,6 +8,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"respect/internal/graph"
 )
@@ -100,10 +101,24 @@ func (s Schedule) StageParamBytes(g *graph.Graph) []int64 {
 	return mem
 }
 
-// Evaluate computes the objective of the schedule on g.
+// Evaluate computes the objective of the schedule on g. It is a solver
+// hot path (every branch-and-bound leaf, every portfolio member, every
+// serving request evaluates at least once), so the per-stage accumulator
+// lives on the stack for realistic pipeline lengths and the call allocates
+// nothing.
 func (s Schedule) Evaluate(g *graph.Graph) Cost {
 	var c Cost
-	for _, m := range s.StageParamBytes(g) {
+	var stack [16]int64
+	var mem []int64
+	if s.NumStages <= len(stack) {
+		mem = stack[:s.NumStages]
+	} else {
+		mem = make([]int64, s.NumStages)
+	}
+	for v, st := range s.Stage {
+		mem[st] += g.Node(v).ParamBytes
+	}
+	for _, m := range mem {
 		if m > c.PeakParamBytes {
 			c.PeakParamBytes = m
 		}
@@ -134,21 +149,8 @@ func (s Schedule) Evaluate(g *graph.Graph) Cost {
 // and the deterministic deployment pass.
 func SequenceToSchedule(g *graph.Graph, seq []int, numStages int) (Schedule, error) {
 	n := g.NumNodes()
-	if len(seq) != n {
-		return Schedule{}, fmt.Errorf("sched: sequence length %d, graph has %d nodes", len(seq), n)
-	}
-	if numStages < 1 {
-		return Schedule{}, fmt.Errorf("sched: numStages = %d", numStages)
-	}
-	seen := make([]bool, n)
-	for _, v := range seq {
-		if v < 0 || v >= n {
-			return Schedule{}, fmt.Errorf("sched: sequence element %d out of range", v)
-		}
-		if seen[v] {
-			return Schedule{}, fmt.Errorf("sched: node %d repeated in sequence", v)
-		}
-		seen[v] = true
+	if err := validateSequence(g, seq, numStages); err != nil {
+		return Schedule{}, err
 	}
 
 	total := g.TotalParamBytes()
@@ -180,15 +182,174 @@ func SequenceToSchedule(g *graph.Graph, seq []int, numStages int) (Schedule, err
 // budget walk remains available (SequenceToSchedule) as an ablation.
 func SequenceToScheduleDP(g *graph.Graph, seq []int, numStages int) (Schedule, error) {
 	// Validate via the shared path, then resegment optimally.
-	if _, err := SequenceToSchedule(g, seq, numStages); err != nil {
+	if err := validateSequence(g, seq, numStages); err != nil {
 		return Schedule{}, err
 	}
 	return dpSegment(g, seq, numStages), nil
 }
 
+// validateSequence checks that seq is a permutation of g's nodes and that
+// numStages is positive — the shared precondition of both ρ realizations.
+// The visited buffer is pooled so repeated decode/serve calls allocate
+// nothing here.
+func validateSequence(g *graph.Graph, seq []int, numStages int) error {
+	n := g.NumNodes()
+	if len(seq) != n {
+		return fmt.Errorf("sched: sequence length %d, graph has %d nodes", len(seq), n)
+	}
+	if numStages < 1 {
+		return fmt.Errorf("sched: numStages = %d", numStages)
+	}
+	sc := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(sc)
+	seen := growBool(&sc.seen, n)
+	for i := range seen {
+		seen[i] = false
+	}
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			return fmt.Errorf("sched: sequence element %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("sched: node %d repeated in sequence", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// dpScratch is the pooled working storage of dpSegment and
+// validateSequence; one solve's tables are reused by the next instead of
+// re-allocated, which matters because the DP runs on every ρ application —
+// each RL decode, each heur/dp backend call, every serving request that
+// misses the cache.
+type dpScratch struct {
+	prefix []int64
+	prev   []int64
+	cur    []int64
+	cut    []int32
+	seen   []bool
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+func grow64(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grow32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // dpSegment optimally cuts order into numStages contiguous segments
 // minimizing the peak segment parameter load.
+//
+// It exploits two exact monotonicity properties of the min-max partition
+// recurrence dp[k][j] = min_i max(dp[k-1][i], prefix[j]-prefix[i]) that
+// hold whenever node weights are non-negative:
+//
+//  1. each dp row is non-decreasing in j, so once dp[k-1][i] reaches the
+//     running minimum no larger i can strictly improve it, and
+//  2. the leftmost minimizer is non-decreasing in j (strict dominance of
+//     i2 over i1 < i2 persists as j grows), so the scan for column j can
+//     start at column j-1's minimizer.
+//
+// Together these turn the inner loop into an amortized two-pointer walk —
+// O(|V|·numStages) instead of O(|V|²·numStages) — while selecting exactly
+// the cuts the quadratic reference selects (smallest minimizer, strict
+// improvement), so the returned schedule is bit-identical to
+// dpSegmentRef's. Graphs with negative weights (expressible through the
+// JSON wire format, never by real models) fall back to the reference.
 func dpSegment(g *graph.Graph, order []int, numStages int) Schedule {
+	n := len(order)
+	sc := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(sc)
+
+	prefix := grow64(&sc.prefix, n+1)
+	prefix[0] = 0
+	negative := false
+	for i, v := range order {
+		p := g.Node(v).ParamBytes
+		if p < 0 {
+			negative = true
+			break
+		}
+		prefix[i+1] = prefix[i] + p
+	}
+	if negative {
+		return dpSegmentRef(g, order, numStages)
+	}
+
+	const inf = int64(1) << 62
+	prev := grow64(&sc.prev, n+1)
+	cur := grow64(&sc.cur, n+1)
+	cut := grow32(&sc.cut, (numStages+1)*(n+1))
+	for i := range prev {
+		prev[i] = inf
+	}
+	prev[0] = 0
+	for k := 1; k <= numStages; k++ {
+		cutRow := cut[k*(n+1) : (k+1)*(n+1)]
+		lo := 0
+		for j := 0; j <= n; j++ {
+			best := prev[lo]
+			if sm := prefix[j] - prefix[lo]; sm > best {
+				best = sm
+			}
+			arg := lo
+			for i := lo + 1; i <= j; i++ {
+				if prev[i] >= best {
+					break // rows are monotone: no larger i can improve
+				}
+				f := prev[i]
+				if sm := prefix[j] - prefix[i]; sm > f {
+					f = sm
+				}
+				if f < best {
+					best, arg = f, i
+				}
+			}
+			cur[j] = best
+			cutRow[j] = int32(arg)
+			lo = arg
+		}
+		prev, cur = cur, prev
+	}
+
+	s := NewSchedule(g.NumNodes(), numStages)
+	j := n
+	for k := numStages; k >= 1; k-- {
+		i := int(cut[k*(n+1)+j])
+		for t := i; t < j; t++ {
+			s.Stage[order[t]] = k - 1
+		}
+		j = i
+	}
+	return s
+}
+
+// dpSegmentRef is the quadratic reference implementation of dpSegment: a
+// direct materialization of the recurrence with smallest-index tie-breaks.
+// It handles negative weights (where the two-pointer walk's monotonicity
+// arguments fail) and anchors the differential tests that pin dpSegment's
+// output bit-for-bit.
+func dpSegmentRef(g *graph.Graph, order []int, numStages int) Schedule {
 	n := len(order)
 	prefix := make([]int64, n+1)
 	for i, v := range order {
@@ -241,7 +402,7 @@ func dpSegment(g *graph.Graph, order []int, numStages int) Schedule {
 func ScheduleToSequence(g *graph.Graph, s Schedule) []int {
 	type key struct{ stage, pos int }
 	pos := make([]int, g.NumNodes())
-	for i, v := range g.Topo() {
+	for i, v := range g.TopoView() {
 		pos[v] = i
 	}
 	seq := make([]int, g.NumNodes())

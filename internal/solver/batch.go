@@ -26,6 +26,11 @@ type BatchResult struct {
 	// CacheHit reports that the schedule came from a Cached wrapper's
 	// fingerprint cache rather than a fresh solve.
 	CacheHit bool
+	// Deduped reports that this graph was a within-batch duplicate (same
+	// structural fingerprint as an earlier graph) and its schedule was
+	// copied from the representative instead of re-solved. Deduped results
+	// also report CacheHit.
+	Deduped bool
 	// Truncated reports the backend ran out of budget and Schedule is an
 	// incumbent, not a full-effort result.
 	Truncated bool
@@ -52,6 +57,31 @@ func Batch(ctx context.Context, b Scheduler, graphs []*graph.Graph, numStages, j
 	hitter, _ := b.(interface {
 		ScheduleTracked(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, bool, Info, error)
 	})
+
+	// Within-batch fingerprint dedup: replay batches routinely repeat
+	// graphs, and hashing is ~10⁴× cheaper than a solve. Only safe when
+	// the backend is cache-wrapped (hitter != nil) — a Cached backend
+	// already promises fingerprint-equal graphs the same schedule, so
+	// copying the representative's result cannot change semantics. Bare
+	// stochastic backends keep solving every instance.
+	dupOf := map[int]int{} // duplicate index -> representative index
+	feedList := make([]int, 0, len(graphs))
+	if hitter != nil && len(graphs) > 1 {
+		rep := make(map[uint64]int, len(graphs))
+		for i, g := range graphs {
+			fp := g.Fingerprint()
+			if r, ok := rep[fp]; ok {
+				dupOf[i] = r
+			} else {
+				rep[fp] = i
+				feedList = append(feedList, i)
+			}
+		}
+	} else {
+		for i := range graphs {
+			feedList = append(feedList, i)
+		}
+	}
 
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -84,13 +114,13 @@ func Batch(ctx context.Context, b Scheduler, graphs []*graph.Graph, numStages, j
 	}
 
 feed:
-	for i := range graphs {
+	for fi, i := range feedList {
 		select {
 		case work <- i:
 		case <-ctx.Done():
-			// Workers only touch indices already fed, so the tail from i on
+			// Workers only touch indices already fed, so the tail from fi on
 			// is exclusively ours: mark it cancelled.
-			for j := i; j < len(graphs); j++ {
+			for _, j := range feedList[fi:] {
 				results[j] = BatchResult{Index: j, Graph: graphs[j], Err: ctx.Err()}
 			}
 			break feed
@@ -98,5 +128,29 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+
+	// Fill duplicates from their representatives. Representatives are
+	// always at lower indices than their duplicates, and all are settled
+	// once the workers drain. Each fill counts as a cache hit — the
+	// dedup is an optimization over querying the cache, not a semantic
+	// change, so Stats must not depend on it.
+	recorder, _ := b.(interface{ RecordExternalHit() })
+	for j, i := range dupOf {
+		r := &results[j]
+		src := results[i]
+		r.Index = j
+		r.Graph = graphs[j]
+		r.Err = src.Err
+		r.Deduped = true
+		if src.Err == nil {
+			r.Schedule = src.Schedule.Clone()
+			r.Cost = src.Cost
+			r.CacheHit = true
+			r.Truncated = src.Truncated
+			if recorder != nil {
+				recorder.RecordExternalHit()
+			}
+		}
+	}
 	return results, ctx.Err()
 }

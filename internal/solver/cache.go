@@ -161,6 +161,14 @@ func (l *lru) put(key cacheKey, val any) {
 	}
 }
 
+// recordHit counts a hit that was satisfied outside the lru (within-batch
+// dedup), without touching entries or recency.
+func (l *lru) recordHit() {
+	l.mu.Lock()
+	l.hits++
+	l.mu.Unlock()
+}
+
 func (l *lru) stats() (hits, misses uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -210,6 +218,13 @@ func (c *Cached) Instrument(ins *Instruments, name string) {
 // Name implements Scheduler: a Cached backend is transparent, carrying its
 // inner backend's name.
 func (c *Cached) Name() string { return c.inner.Name() }
+
+// RecordExternalHit counts a fingerprint-cache hit that was satisfied
+// without querying the cache: Batch's within-batch dedup copies a
+// representative's schedule instead of re-looking it up, and records the
+// duplicate here so Stats and the cache-ops metrics stay truthful about
+// how many requests were served without a fresh solve.
+func (c *Cached) RecordExternalHit() { c.lru.recordHit() }
 
 // Schedule implements Scheduler.
 func (c *Cached) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {

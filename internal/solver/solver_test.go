@@ -498,3 +498,66 @@ func TestPortfolioSchedulerComposesWithBatch(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchDedupsDuplicateFingerprints(t *testing.T) {
+	heurB, _ := Lookup("heur")
+	c := NewCached(heurB, 8)
+	a, b := randomDAG(41, 14), randomDAG(42, 14)
+	graphs := []*graph.Graph{a, b, a, a, b}
+	results, err := Batch(context.Background(), c, graphs, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if results[i].Deduped {
+			t.Fatalf("representative %d marked deduped", i)
+		}
+	}
+	for _, i := range []int{2, 3, 4} {
+		if !results[i].Deduped || !results[i].CacheHit {
+			t.Fatalf("duplicate %d: Deduped=%v CacheHit=%v", i, results[i].Deduped, results[i].CacheHit)
+		}
+	}
+	// Duplicates carry the representative's exact schedule and cost.
+	if results[2].Cost != results[0].Cost || results[4].Cost != results[1].Cost {
+		t.Fatal("duplicate cost diverges from representative")
+	}
+	for v := range results[0].Schedule.Stage {
+		if results[2].Schedule.Stage[v] != results[0].Schedule.Stage[v] {
+			t.Fatalf("duplicate schedule diverges at node %d", v)
+		}
+	}
+	// Deduped duplicates never reached the backend — the cache solved
+	// exactly two distinct instances (both misses) — but each dedup fill
+	// still counts as a hit, so Stats is independent of the optimization.
+	if hits, misses := c.Stats(); hits != 3 || misses != 2 {
+		t.Fatalf("cache saw hits=%d misses=%d, want 3/2", hits, misses)
+	}
+	// A mutated duplicate's schedule must not alias the representative's.
+	results[2].Schedule.Stage[0] = -99
+	if results[0].Schedule.Stage[0] == -99 {
+		t.Fatal("duplicate schedule aliases representative storage")
+	}
+}
+
+func TestBatchNoDedupForUncachedBackend(t *testing.T) {
+	heurB, _ := Lookup("heur")
+	g := randomDAG(43, 12)
+	results, err := Batch(context.Background(), heurB, []*graph.Graph{g, g, g}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Deduped || r.CacheHit {
+			t.Fatalf("bare backend item %d should solve fresh: Deduped=%v CacheHit=%v", i, r.Deduped, r.CacheHit)
+		}
+	}
+}
