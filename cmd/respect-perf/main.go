@@ -10,6 +10,7 @@
 //	respect-perf -out BENCH_7.json
 //	respect-perf -out BENCH_7.json -compare BENCH_6.json -threshold 0.15
 //	respect-perf -short -out /tmp/quick.json        # CI regression gate
+//	respect-perf -in BENCH_7.json -compare BENCH_6.json  # gate two existing artifacts
 //	respect-perf -backends heur,compiler -stages 6
 //
 // With -compare, the process exits 1 when any tracked metric regressed
@@ -79,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 		outPath   = fs.String("out", "", "write the trajectory report JSON here (empty prints a summary only)")
 		label     = fs.String("label", "", "report label (defaults to the -out file name without extension)")
 		compare   = fs.String("compare", "", "previous BENCH_*.json to diff against")
+		inPath    = fs.String("in", "", "load the current report from this BENCH_*.json instead of measuring (compare-only; requires -compare)")
 		threshold = fs.Float64("threshold", 0.15, "regression gate: fail when a metric is more than this fraction worse")
 		short     = fs.Bool("short", false, "reduced iteration counts for CI (fixed, still deterministic in coverage)")
 		backends  = fs.String("backends", strings.Join(perf.DefaultBackends(), ","), "comma-separated solver backends to sweep")
@@ -98,6 +100,20 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 			return 0, nil
 		}
 		return 2, err
+	}
+
+	// Compare-only mode: no measurement at all, just the gate between two
+	// existing artifacts — this is how CI canaries with known report pairs
+	// exercise the comparator itself.
+	if *inPath != "" {
+		if *compare == "" {
+			return 2, errors.New("-in requires -compare: a loaded report alone has nothing to gate against")
+		}
+		cur, err := perf.ReadReport(*inPath)
+		if err != nil {
+			return 1, err
+		}
+		return compareAgainst(out, cur, *compare, *threshold)
 	}
 
 	suite := perf.SuiteConfig{
@@ -194,20 +210,27 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 	}
 
 	if *compare != "" {
-		prev, err := perf.ReadReport(*compare)
-		if err != nil {
-			return 1, err
-		}
-		regs := perf.Compare(prev, report, *threshold)
-		if len(regs) == 0 {
-			fmt.Fprintf(out, "no regressions vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
-		} else {
-			fmt.Fprintf(out, "REGRESSIONS vs %s (threshold %.0f%%):\n", *compare, *threshold*100)
-			for _, r := range regs {
-				fmt.Fprintf(out, "  %s\n", r)
-			}
-			return 1, nil
-		}
+		return compareAgainst(out, report, *compare, *threshold)
 	}
 	return 0, nil
+}
+
+// compareAgainst runs the regression gate: diff report against the
+// baseline at prevPath and exit 1 when anything regressed past
+// threshold.
+func compareAgainst(out io.Writer, report *perf.Report, prevPath string, threshold float64) (int, error) {
+	prev, err := perf.ReadReport(prevPath)
+	if err != nil {
+		return 1, err
+	}
+	regs := perf.Compare(prev, report, threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "no regressions vs %s (threshold %.0f%%)\n", prevPath, threshold*100)
+		return 0, nil
+	}
+	fmt.Fprintf(out, "REGRESSIONS vs %s (threshold %.0f%%):\n", prevPath, threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(out, "  %s\n", r)
+	}
+	return 1, nil
 }

@@ -86,6 +86,51 @@ func TestRunFailsOnRegression(t *testing.T) {
 	}
 }
 
+// TestRunCompareOnlyZeroBaselineAllocGate is the CI canary in miniature:
+// with -in, nothing is measured — the gate diffs two existing artifacts,
+// and a 0 -> N allocs/op pair must exit non-zero with an infinite ratio,
+// the exact blind spot the old comparator had.
+func TestRunCompareOnlyZeroBaselineAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := perf.NewReport("BENCH_base")
+	base.Alloc = []perf.AllocResult{{Name: "sched.Evaluate", AllocsPerOp: 0, BytesPerOp: 0}}
+	cur := perf.NewReport("BENCH_cur")
+	cur.Alloc = []perf.AllocResult{{Name: "sched.Evaluate", AllocsPerOp: 500, BytesPerOp: 4096}}
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	if err := base.WriteJSON(basePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteJSON(curPath); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	code, err := run(context.Background(), []string{"-in", curPath, "-compare", basePath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("0 -> 500 allocs/op exited %d, want 1:\n%s", code, buf.String())
+	}
+	for _, want := range []string{"REGRESSIONS", "alloc.allocs_per_op", "sched.Evaluate", "+Inf"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("gate output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// The reverse direction (N -> 0) is an improvement: clean exit.
+	buf.Reset()
+	if code, err := run(context.Background(), []string{"-in", basePath, "-compare", curPath}, &buf); err != nil || code != 0 {
+		t.Fatalf("improvement gated: code=%d err=%v\n%s", code, err, buf.String())
+	}
+
+	// -in without -compare is a usage error.
+	if code, err := run(context.Background(), []string{"-in", curPath}, &buf); code != 2 || err == nil {
+		t.Fatalf("-in alone: code=%d err=%v", code, err)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var buf strings.Builder
 	if code, _ := run(context.Background(), []string{"-not-a-flag"}, &buf); code != 2 {

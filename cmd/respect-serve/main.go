@@ -8,8 +8,10 @@
 //	respect-serve -addr :8080 -agent respect.gob -interactive-backends heur,rl
 //	respect-serve -addr 127.0.0.1:0 -warm none -batch-budget 10s
 //	respect-serve -addr :8080 -speculate -speculate-watermark 0.6 -speculate-budget 8
+//	respect-serve -addr :8080 -rt -rt-policy rm
 //
 //	curl -s localhost:8080/v1/schedule -d '{"model":"ResNet152","stages":6}'
+//	curl -s localhost:8080/v1/periodic -d '{"name":"cam","model":"MobileNet","period_ms":100}'
 //	curl -s localhost:8080/v1/backends
 package main
 
@@ -108,6 +110,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		speculateOn = fs.Bool("speculate", false, "speculatively warm the per-class caches from popularity + eviction signals")
 		specMark    = fs.Float64("speculate-watermark", 0, "admission occupancy in (0,1] at which speculation yields (0 keeps the default, 0.5)")
 		specBudget  = fs.Int("speculate-budget", 0, "max speculative solves per scan pass (0 keeps the default, 4)")
+		rtOn        = fs.Bool("rt", false, "enable the periodic-task mode: register (model, period, deadline) streams on POST /v1/periodic")
+		rtPolicy    = fs.String("rt-policy", "edf", `periodic queue discipline: "fifo", "rm" or "edf"`)
+		rtUtilBound = fs.Float64("rt-util-bound", 0, "override the schedulability utilization bound (0 keeps the policy default and the response-time analysis)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	fs.SetOutput(out)
@@ -171,6 +176,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Enabled:   *speculateOn,
 			Watermark: *specMark,
 			Budget:    *specBudget,
+		},
+		RT: serve.RTConfig{
+			Enabled:   *rtOn,
+			Policy:    *rtPolicy,
+			UtilBound: *rtUtilBound,
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)

@@ -251,6 +251,81 @@ func TestRunSpeculateFlags(t *testing.T) {
 	}
 }
 
+// TestRunRTFlags boots with the periodic-task mode on: /v1/periodic
+// registers a stream under the flagged policy, the rt metric families
+// are exposed, /v1/stats carries the rt block, and bad rt flag values
+// are config errors, not panics.
+func TestRunRTFlags(t *testing.T) {
+	base, _, cancel, done := startServe(t, "-rt", "-rt-policy", "rm", "-rt-util-bound", "0.8")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Post(base+"/v1/periodic", "application/json",
+		strings.NewReader(`{"name":"cam","model":"MobileNet","period_ms":200,"cost_ms":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("periodic register: %d: %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		Policy    string  `json:"policy"`
+		UtilBound float64 `json:"util_bound"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if reg.Policy != "rm" || reg.UtilBound != 0.8 {
+		t.Fatalf("flags not reflected in registration: %s", body)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`respect_rt_releases_total{stream="cam"}`,
+		`respect_rt_deadline_misses_total{stream="cam",policy="rm"}`,
+		"respect_rt_queued_jobs",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("exposition missing %q with -rt:\n%s", want, page)
+		}
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		RT *struct {
+			Policy  string `json:"policy"`
+			Streams []struct {
+				Name string `json:"name"`
+			} `json:"streams"`
+		} `json:"rt"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RT == nil || st.RT.Policy != "rm" || len(st.RT.Streams) != 1 {
+		t.Fatalf("stats rt block missing or wrong: %+v", st.RT)
+	}
+
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-rt", "-rt-policy", "lifo"}, &out); err == nil {
+		t.Fatal("want unknown policy error")
+	}
+	if err := run(context.Background(), []string{"-rt", "-rt-util-bound", "-1"}, &out); err == nil {
+		t.Fatal("want negative bound error")
+	}
+}
+
 // TestRunWarmSetAndFlagErrors covers the warm-set plumbing and flag
 // validation without binding a real port twice.
 func TestRunWarmSetAndFlagErrors(t *testing.T) {

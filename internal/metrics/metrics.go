@@ -293,6 +293,44 @@ func (h *Histogram) Observe(v float64) {
 	addFloat(&h.sum, v)
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly within the
+// bucket holding the target rank — the same estimate Prometheus's
+// histogram_quantile computes. Targets landing in the +Inf bucket clamp
+// to the largest finite bound (the resolution limit of the buckets), and
+// an empty histogram reports 0. The estimate is approximate by
+// construction; it is meant for feedback loops (e.g. admission cost
+// estimates), not billing.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			if i == len(h.upper) {
+				break // +Inf bucket: clamp below
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (h.upper[i]-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	if len(h.upper) == 0 {
+		return 0
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

@@ -209,3 +209,43 @@ func TestHandler(t *testing.T) {
 		t.Fatalf("POST status %d, want 405", post.StatusCode)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{0.1, 0.2, 0.4, 0.8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 samples spread evenly through (0, 0.1]: every quantile stays in
+	// the first bucket and interpolates linearly from 0.
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	if got := h.Quantile(0.5); got != 0.05 {
+		t.Fatalf("p50 = %v, want 0.05", got)
+	}
+	if got := h.Quantile(1); got != 0.1 {
+		t.Fatalf("p100 = %v, want 0.1", got)
+	}
+	// Push 10 more into the (0.2, 0.4] bucket: p50 is now the first
+	// bucket's upper bound, p75 lands mid-way through the third bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.3)
+	}
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Fatalf("p50 after shift = %v, want 0.1", got)
+	}
+	if got, want := h.Quantile(0.75), 0.3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p75 = %v, want %v", got, want)
+	}
+	// Samples beyond the last bound clamp to it.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.99); got != 0.8 {
+		t.Fatalf("p99 with +Inf mass = %v, want clamp to 0.8", got)
+	}
+	if got := h.Quantile(-1); got != 0 {
+		t.Fatalf("negative q = %v, want 0", got)
+	}
+}

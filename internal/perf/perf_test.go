@@ -2,6 +2,7 @@ package perf
 
 import (
 	"context"
+	"math"
 	"path/filepath"
 	"testing"
 	"time"
@@ -230,5 +231,55 @@ func TestReportRoundTripAndCompare(t *testing.T) {
 	}
 	if _, err := ReadReport(bad); err == nil {
 		t.Fatal("want schema version error")
+	}
+}
+
+// TestCompareFlagsZeroBaselineAllocRegression is the gate for the
+// zero-baseline blind spot: a hot path measured at 0 allocs/op that
+// starts allocating must fail the comparison — the old ratio math
+// silently skipped every `oldV <= 0` cell, so 0 -> 500 passed CI.
+func TestCompareFlagsZeroBaselineAllocRegression(t *testing.T) {
+	old := NewReport("BENCH_old")
+	old.Alloc = []AllocResult{
+		{Name: "sched.Evaluate", AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "graph.Fingerprint", AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	cur := NewReport("BENCH_new")
+	cur.Alloc = []AllocResult{
+		{Name: "sched.Evaluate", AllocsPerOp: 500, BytesPerOp: 4096},
+		{Name: "graph.Fingerprint", AllocsPerOp: 0, BytesPerOp: 0},
+	}
+
+	regs := Compare(old, cur, 0.15)
+	byMetric := map[string]Regression{}
+	for _, r := range regs {
+		byMetric[r.Metric] = r
+		if r.Key != "sched.Evaluate" {
+			t.Fatalf("stable zero-alloc probe flagged: %+v", r)
+		}
+	}
+	for _, metric := range []string{"alloc.allocs_per_op", "alloc.bytes_per_op"} {
+		r, ok := byMetric[metric]
+		if !ok {
+			t.Fatalf("0 -> N %s not flagged: %v", metric, regs)
+		}
+		if !math.IsInf(r.Ratio, 1) {
+			t.Fatalf("%s zero-baseline ratio = %v, want +Inf: %+v", metric, r.Ratio, r)
+		}
+		if r.Old != 0 || r.New <= 0 {
+			t.Fatalf("%s endpoints wrong: %+v", metric, r)
+		}
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want exactly the two alloc regressions, got %v", regs)
+	}
+
+	// The noisy latency/throughput metrics keep skipping zero baselines:
+	// a timing of 0 is a missing sample, not a guarantee.
+	old.Solver = []SolverResult{{Backend: "heur", Graph: "X", Stages: 4, P50Micros: 0, GraphsPerSecCore: 1000}}
+	cur.Solver = []SolverResult{{Backend: "heur", Graph: "X", Stages: 4, P50Micros: 100, GraphsPerSecCore: 1000}}
+	cur.Alloc = old.Alloc
+	if regs := Compare(old, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("zero-baseline latency must stay unflagged: %v", regs)
 	}
 }

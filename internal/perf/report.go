@@ -3,6 +3,7 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -108,10 +109,13 @@ func (r Regression) String() string {
 
 // Compare diffs two reports and returns the metrics that regressed past
 // threshold (e.g. 0.15 = fail on >15% worse). Latency and throughput use
-// threshold as-is; allocation counts, being deterministic, use the same
-// bar but will typically only trip on real regressions. Cells present in
-// only one report are ignored — coverage changes are reviewed via Notes
-// and the diff itself, not flagged as performance regressions.
+// threshold as-is and skip zero baselines (a ratio over nothing is
+// noise); the allocation counters are deterministic, so there a zero
+// baseline is load-bearing — 0 -> N allocs/op means a formerly
+// allocation-free hot path now allocates, reported with Ratio = +Inf.
+// Cells present in only one report are ignored — coverage changes are
+// reviewed via Notes and the diff itself, not flagged as performance
+// regressions.
 func Compare(old, new *Report, threshold float64) []Regression {
 	var regs []Regression
 	worse := func(metric, key string, oldV, newV float64) {
@@ -122,6 +126,16 @@ func Compare(old, new *Report, threshold float64) []Regression {
 		if ratio > 1+threshold {
 			regs = append(regs, Regression{Metric: metric, Key: key, Old: oldV, New: newV, Ratio: ratio})
 		}
+	}
+	// worseFromZero wraps worse for the deterministic metrics where a
+	// zero baseline is a guarantee, not a missing sample: any move off
+	// zero is an unambiguous regression regardless of threshold.
+	worseFromZero := func(metric, key string, oldV, newV float64) {
+		if oldV == 0 && newV > 0 {
+			regs = append(regs, Regression{Metric: metric, Key: key, Old: 0, New: newV, Ratio: math.Inf(1)})
+			return
+		}
+		worse(metric, key, oldV, newV)
 	}
 	better := func(metric, key string, oldV, newV float64) {
 		if newV <= 0 {
@@ -156,8 +170,8 @@ func Compare(old, new *Report, threshold float64) []Regression {
 		if !ok {
 			continue
 		}
-		worse("alloc.allocs_per_op", a.Name, float64(o.AllocsPerOp), float64(a.AllocsPerOp))
-		worse("alloc.bytes_per_op", a.Name, float64(o.BytesPerOp), float64(a.BytesPerOp))
+		worseFromZero("alloc.allocs_per_op", a.Name, float64(o.AllocsPerOp), float64(a.AllocsPerOp))
+		worseFromZero("alloc.bytes_per_op", a.Name, float64(o.BytesPerOp), float64(a.BytesPerOp))
 	}
 
 	oldServing := map[string]ServingResult{}

@@ -1,0 +1,430 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sleepRun returns a Run that sleeps for the stream's effective cost
+// (respecting cancellation), simulating an inference pipeline.
+func sleepRun() func(ctx context.Context, j Job) error {
+	return func(ctx context.Context, j Job) error {
+		t := time.NewTimer(j.Stream.Cost())
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"fifo", "rm", "edf"} {
+		p, err := ParsePolicy(ok)
+		if err != nil || string(p) != ok {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", ok, p, err)
+		}
+	}
+	if _, err := ParsePolicy("lifo"); err == nil {
+		t.Fatal("ParsePolicy accepted lifo")
+	}
+}
+
+func TestLiuLaylandAndDefaultBound(t *testing.T) {
+	if got := LiuLayland(1); got != 1 {
+		t.Fatalf("LiuLayland(1) = %v, want 1", got)
+	}
+	if got, want := LiuLayland(2), 2*(math.Sqrt2-1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LiuLayland(2) = %v, want %v", got, want)
+	}
+	if got := LiuLayland(100); got < math.Ln2 || got > 1 {
+		t.Fatalf("LiuLayland(100) = %v outside (ln2, 1)", got)
+	}
+	if DefaultBound(EDF, 5) != 1 {
+		t.Fatal("EDF default bound should be 1")
+	}
+	if DefaultBound(RM, 3) != LiuLayland(3) || DefaultBound(FIFO, 3) != LiuLayland(3) {
+		t.Fatal("RM/FIFO default bound should be Liu & Layland")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	run := sleepRun()
+	cases := []Config{
+		{Policy: "lifo", Run: run},
+		{UtilBound: -0.5, Run: run},
+		{Workers: -1, Run: run},
+		{}, // no Run
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+	d, err := New(Config{Run: run})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if d.Policy() != EDF {
+		t.Fatalf("default policy = %v, want edf", d.Policy())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d, err := New(Config{Policy: EDF, Run: sleepRun()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []StreamSpec{
+		{Period: time.Second, Cost: time.Millisecond},                                       // no name
+		{Name: "a", Cost: time.Millisecond},                                                 // no period
+		{Name: "a", Period: time.Second, Deadline: 2 * time.Second, Cost: time.Millisecond}, // deadline > period
+		{Name: "a", Period: time.Second, Deadline: -time.Second, Cost: time.Millisecond},    // negative deadline
+		{Name: "a", Period: time.Second, Cost: -time.Millisecond},                           // negative cost
+		{Name: "a", Period: time.Second},                                                    // no cost, no Estimate
+	}
+	for i, spec := range bad {
+		if _, err := d.Register(spec); err == nil {
+			t.Fatalf("case %d: Register accepted invalid spec %+v", i, spec)
+		}
+	}
+	if _, err := d.Register(StreamSpec{Name: "a", Period: time.Second, Cost: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if _, err := d.Register(StreamSpec{Name: "a", Period: time.Second, Cost: 10 * time.Millisecond}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestSchedulabilityUtilizationBound(t *testing.T) {
+	// Two streams at 0.5 utilization each: fine under EDF (bound 1.0),
+	// rejected under RM's Liu & Layland bound (0.828).
+	specs := []StreamSpec{
+		{Name: "a", Period: 100 * time.Millisecond, Cost: 50 * time.Millisecond},
+		{Name: "b", Period: 200 * time.Millisecond, Cost: 100 * time.Millisecond},
+	}
+	edf, _ := New(Config{Policy: EDF, Run: sleepRun()})
+	for _, sp := range specs {
+		if _, err := edf.Register(sp); err != nil {
+			t.Fatalf("edf rejected %q: %v", sp.Name, err)
+		}
+	}
+	rm, _ := New(Config{Policy: RM, Run: sleepRun()})
+	if _, err := rm.Register(specs[0]); err != nil {
+		t.Fatalf("rm rejected first stream: %v", err)
+	}
+	_, err := rm.Register(specs[1])
+	if !errors.Is(err, ErrNotSchedulable) {
+		t.Fatalf("rm admission of util-1.0 set: err = %v, want ErrNotSchedulable", err)
+	}
+	// The explicit-bound override admits the same set (and skips RTA).
+	over, _ := New(Config{Policy: RM, UtilBound: 1.5, Run: sleepRun()})
+	for _, sp := range specs {
+		if _, err := over.Register(sp); err != nil {
+			t.Fatalf("override bound rejected %q: %v", sp.Name, err)
+		}
+	}
+	// Cost beyond the deadline is never schedulable, bound or not.
+	_, err = over.Register(StreamSpec{Name: "c", Period: 100 * time.Millisecond,
+		Deadline: 20 * time.Millisecond, Cost: 30 * time.Millisecond})
+	if !errors.Is(err, ErrNotSchedulable) {
+		t.Fatalf("cost>deadline: err = %v, want ErrNotSchedulable", err)
+	}
+}
+
+func TestSchedulabilityResponseTimeAnalysis(t *testing.T) {
+	// Utilization 0.5 passes every bound, but stream b's 60ms deadline
+	// cannot absorb a's interference under RM (R = 30 + ceil(R/100)*40
+	// fixes at 70ms) or FIFO. EDF's density test (0.9) admits it.
+	specs := []StreamSpec{
+		{Name: "a", Period: 100 * time.Millisecond, Cost: 40 * time.Millisecond},
+		{Name: "b", Period: 300 * time.Millisecond, Deadline: 60 * time.Millisecond, Cost: 30 * time.Millisecond},
+	}
+	for _, tc := range []struct {
+		policy Policy
+		admit  bool
+	}{{EDF, true}, {RM, false}, {FIFO, false}} {
+		d, _ := New(Config{Policy: tc.policy, Run: sleepRun()})
+		var err error
+		for _, sp := range specs {
+			if _, err = d.Register(sp); err != nil {
+				break
+			}
+		}
+		if tc.admit && err != nil {
+			t.Fatalf("%s rejected RTA-feasible set: %v", tc.policy, err)
+		}
+		if !tc.admit && !errors.Is(err, ErrNotSchedulable) {
+			t.Fatalf("%s admission: err = %v, want ErrNotSchedulable", tc.policy, err)
+		}
+	}
+}
+
+func TestEstimateFeedsAdmission(t *testing.T) {
+	est := 5 * time.Millisecond
+	d, _ := New(Config{
+		Policy: EDF,
+		Run:    sleepRun(),
+		Estimate: func(s *Stream) time.Duration {
+			return est
+		},
+	})
+	s, err := d.Register(StreamSpec{Name: "a", Period: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Register with Estimate: %v", err)
+	}
+	if s.Cost() != est {
+		t.Fatalf("cost = %v, want %v", s.Cost(), est)
+	}
+	// A later registration re-estimates the existing stream too.
+	est = 9 * time.Millisecond
+	if _, err := d.Register(StreamSpec{Name: "b", Period: 100 * time.Millisecond}); err != nil {
+		t.Fatalf("second Register: %v", err)
+	}
+	if s.Cost() != est {
+		t.Fatalf("refreshed cost = %v, want %v", s.Cost(), est)
+	}
+	// An estimate that no longer fits the deadline blocks new admissions.
+	est = 150 * time.Millisecond
+	if _, err := d.Register(StreamSpec{Name: "c", Period: 200 * time.Millisecond}); !errors.Is(err, ErrNotSchedulable) {
+		t.Fatalf("oversized estimate: err = %v, want ErrNotSchedulable", err)
+	}
+}
+
+func TestDispatcherReleasesAndCompletes(t *testing.T) {
+	var done atomic.Uint64
+	d, _ := New(Config{
+		Policy: EDF,
+		Run: func(ctx context.Context, j Job) error {
+			done.Add(1)
+			return nil
+		},
+	})
+	s, err := d.Register(StreamSpec{Name: "cam", Period: 30 * time.Millisecond, Cost: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for done.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	if got := done.Load(); got < 4 {
+		t.Fatalf("completions = %d, want >= 4", got)
+	}
+	if s.Releases() < s.Completions() {
+		t.Fatalf("releases %d < completions %d", s.Releases(), s.Completions())
+	}
+	if s.Misses() != 0 {
+		t.Fatalf("misses = %d for a trivially schedulable stream", s.Misses())
+	}
+	st := d.Stats()
+	if st.Policy != EDF || len(st.Streams) != 1 || st.Streams[0].Name != "cam" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Releases != s.Releases() || st.Completions != s.Completions() {
+		t.Fatalf("stats totals %+v do not reconcile with stream counters", st)
+	}
+}
+
+func TestDeadlineMissAndSupersedeAccounting(t *testing.T) {
+	var mu sync.Mutex
+	var results []JobResult
+	d, _ := New(Config{
+		Policy: EDF,
+		// Overload deliberately; admission must be bypassed via bound.
+		UtilBound: 10,
+		Run: func(ctx context.Context, j Job) error {
+			t := time.NewTimer(45 * time.Millisecond) // >> deadline
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+		OnComplete: func(res JobResult) {
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		},
+	})
+	s, err := d.Register(StreamSpec{Name: "slow", Period: 25 * time.Millisecond,
+		Deadline: 15 * time.Millisecond, Cost: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Misses() >= 3 && s.Drops() >= 1 && s.Completions() >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	if s.Misses() < 3 || s.Drops() < 1 || s.Completions() < 1 {
+		t.Fatalf("misses=%d drops=%d completions=%d; want >=3, >=1, >=1",
+			s.Misses(), s.Drops(), s.Completions())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var missed, tardy int
+	for _, r := range results {
+		if r.Missed {
+			missed++
+		}
+		if r.Tardiness > 0 {
+			tardy++
+		}
+	}
+	if missed == 0 || tardy == 0 {
+		t.Fatalf("OnComplete saw %d missed / %d tardy results out of %d", missed, tardy, len(results))
+	}
+	// Every release is accounted for: completed, dropped, or still queued
+	// (at most one pending job per stream at shutdown).
+	if s.Releases() > s.Completions()+s.Drops()+1 {
+		t.Fatalf("unaccounted releases: releases=%d completions=%d drops=%d",
+			s.Releases(), s.Completions(), s.Drops())
+	}
+}
+
+func TestRemoveCancelsPending(t *testing.T) {
+	d, _ := New(Config{Policy: FIFO, UtilBound: 10, Run: sleepRun()})
+	if _, err := d.Register(StreamSpec{Name: "a", Period: 20 * time.Millisecond, Cost: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	time.Sleep(30 * time.Millisecond)
+	if !d.Remove("a") {
+		t.Fatal("Remove returned false for a registered stream")
+	}
+	if d.Remove("a") {
+		t.Fatal("Remove returned true for an unregistered stream")
+	}
+	if st := d.Stats(); len(st.Streams) != 0 {
+		t.Fatalf("stats still lists %d streams after Remove", len(st.Streams))
+	}
+}
+
+func TestShutdownLeavesNoOrphanedReleases(t *testing.T) {
+	var completions atomic.Uint64
+	d, _ := New(Config{
+		Policy:     RM,
+		Run:        sleepRun(),
+		OnComplete: func(JobResult) { completions.Add(1) },
+	})
+	for i := 0; i < 3; i++ {
+		spec := StreamSpec{Name: fmt.Sprintf("s%d", i),
+			Period: time.Duration(20+10*i) * time.Millisecond, Cost: time.Millisecond}
+		if _, err := d.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop, err := d.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Start(context.Background()); err == nil {
+		t.Fatal("second Start while running should fail")
+	}
+	time.Sleep(60 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	// After stop returns every goroutine has exited: no further releases
+	// or completions may surface.
+	before := completions.Load()
+	relBefore := d.Stats().Releases
+	time.Sleep(80 * time.Millisecond)
+	if after := completions.Load(); after != before {
+		t.Fatalf("completions kept flowing after stop: %d -> %d", before, after)
+	}
+	if relAfter := d.Stats().Releases; relAfter != relBefore {
+		t.Fatalf("releases kept flowing after stop: %d -> %d", relBefore, relAfter)
+	}
+	// The dispatcher restarts cleanly.
+	stop2, err := d.Start(context.Background())
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	stop2()
+	if d.Stats().Releases <= relBefore {
+		t.Fatal("restarted dispatcher released nothing")
+	}
+}
+
+// TestMissRateOrderingUnderOverload replays the same deadline-constrained
+// camera-style workload under each queue discipline and asserts the
+// expected ordering: EDF misses least, RM more, FIFO most. Each policy's
+// losses are structural, not noise. The heavy "bulk" job blocks everyone
+// equally while running (execution is non-preemptive), but only FIFO
+// also serves it ahead of younger urgent jobs — the classic priority
+// inversion — costing extra "cam" misses; RM additionally starves the
+// long-period tight-deadline "lidar" stream behind the cam/aux queue,
+// where EDF jumps it ahead. The set runs ~7% under capacity so the
+// ordering reflects discipline rather than saturation collapse, yet it
+// exceeds every default admission bound — registration needs the
+// explicit override, which is the overload the acceptance criterion
+// exercises. Parameters were tuned by replaying candidates against this
+// dispatcher until the ordering held with stable margins across trials.
+func TestMissRateOrderingUnderOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second replay; skipped in -short")
+	}
+	specs := []StreamSpec{
+		{Name: "cam", Period: 60 * time.Millisecond, Cost: 20 * time.Millisecond},
+		{Name: "aux", Period: 150 * time.Millisecond, Cost: 30 * time.Millisecond},
+		{Name: "lidar", Period: 300 * time.Millisecond, Deadline: 90 * time.Millisecond, Cost: 30 * time.Millisecond},
+		{Name: "bulk", Period: 400 * time.Millisecond, Cost: 120 * time.Millisecond},
+	}
+	replay := func(p Policy) uint64 {
+		d, err := New(Config{Policy: p, UtilBound: 1.2, Run: sleepRun()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range specs {
+			if _, err := d.Register(sp); err != nil {
+				t.Fatalf("%s: register %q: %v", p, sp.Name, err)
+			}
+		}
+		stop, err := d.Start(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2400 * time.Millisecond)
+		stop()
+		st := d.Stats()
+		t.Logf("%-4s: releases=%d completions=%d misses=%d drops=%d", p, st.Releases, st.Completions, st.Misses, st.Drops)
+		return st.Misses
+	}
+	edf := replay(EDF)
+	rm := replay(RM)
+	fifo := replay(FIFO)
+	if edf > rm {
+		t.Errorf("miss ordering violated: edf=%d > rm=%d", edf, rm)
+	}
+	if rm > fifo {
+		t.Errorf("miss ordering violated: rm=%d > fifo=%d", rm, fifo)
+	}
+}

@@ -241,6 +241,10 @@ type ClassPolicyJSON struct {
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// retryAfterBudgetCap bounds the Retry-After hint to this many class
+// budgets regardless of queue depth.
+const retryAfterBudgetCap = 4
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -260,7 +264,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // slot, while a queue-timeout rejection already waited one full budget,
 // so only the work still queued ahead of a fresh arrival bounds the next
 // attempt. The two causes therefore advertise different hints (seconds,
-// rounded up, floor 1 — the header's unit).
+// rounded up, floor 1 — the header's unit). The hint is capped at a few
+// class budgets: the backlog estimate is a worst case that assumes every
+// queued request burns its full budget, so on a deep queue the linear
+// extrapolation quotes minutes that honest clients would actually sit
+// out, long after the queue has really drained.
 func writeRejected(w http.ResponseWriter, st *classState, err error) {
 	policy := st.policy
 	perSlot := policy.Budget.Seconds() / float64(policy.MaxConcurrent)
@@ -270,6 +278,9 @@ func writeRejected(w http.ResponseWriter, st *classState, err error) {
 		wait = perSlot * backlog
 	} else {
 		wait = perSlot * (backlog + 1)
+	}
+	if ceiling := retryAfterBudgetCap * policy.Budget.Seconds(); wait > ceiling {
+		wait = ceiling
 	}
 	retry := int(math.Ceil(wait))
 	if retry < 1 {

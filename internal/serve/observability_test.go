@@ -392,6 +392,92 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 	}
 }
 
+// TestRetryAfterClampedOnDeepQueue regression-tests the hint ceiling for
+// both rejection causes: the per-slot backlog extrapolation is a worst
+// case, so on a deep queue the uncapped math quoted minutes-long hints
+// (perSlot * backlog grows linearly with MaxQueue) that honest clients
+// would sit out long after the queue drained. The hint must never exceed
+// a few class budgets no matter how deep the queue is.
+func TestRetryAfterClampedOnDeepQueue(t *testing.T) {
+	if err := solver.Register(sleepIgnoringCtx{name: "e2e-sleep-clamp", d: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	budget := 300 * time.Millisecond
+	const depth = 20
+	srv, ts := newTestServer(t, serve.Config{
+		WarmModels: []string{},
+		Classes: map[serve.Class]serve.ClassPolicy{
+			"deep": {Budget: budget, Backends: []string{"e2e-sleep-clamp"}, MaxConcurrent: 1, MaxQueue: depth},
+		},
+	})
+	body, err := json.Marshal(serve.ScheduleRequest{Model: "Xception", Class: "deep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (*http.Response, error) {
+		return http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	}
+	// With 1 slot at 300ms per budget, 4 budgets cap the hint at
+	// ceil(1.2s) = 2s; the uncapped worst case over a full queue would be
+	// ceil(0.3 * 21) = 7s.
+	const capSeconds = 2
+
+	// One request holds the only slot for the whole test.
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		if resp, err := post(); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, func() bool { return srv.Stats().Classes["deep"].Active == 1 })
+
+	// Fill the queue; every one of these will come back as a
+	// queue-timeout rejection after its budget expires.
+	queued := make(chan *http.Response, depth)
+	for i := 0; i < depth; i++ {
+		go func() {
+			if resp, err := post(); err == nil {
+				resp.Body.Close()
+				queued <- resp
+			} else {
+				queued <- nil
+			}
+		}()
+	}
+	waitFor(t, func() bool { return srv.Stats().Classes["deep"].Queued == depth })
+
+	// Queue-full: the backlog is at its deepest, so this is where the old
+	// math quoted 7s.
+	resp, err := post()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full request: status %d, want 429", resp.StatusCode)
+	}
+	if hint := retryAfterSeconds(t, resp); hint != capSeconds {
+		t.Fatalf("queue-full Retry-After = %ds, want the %ds cap", hint, capSeconds)
+	}
+
+	// Queue-timeout: whatever backlog each rejection still sees, no hint
+	// may exceed the cap (the first few see nearly the full queue).
+	for i := 0; i < depth; i++ {
+		r := <-queued
+		if r == nil {
+			t.Fatal("queued request failed")
+		}
+		if r.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("queued request: status %d, want 429", r.StatusCode)
+		}
+		if hint := retryAfterSeconds(t, r); hint > capSeconds {
+			t.Fatalf("queue-timeout Retry-After = %ds exceeds the %ds cap", hint, capSeconds)
+		}
+	}
+	<-holderDone
+}
+
 func retryAfterSeconds(t *testing.T, resp *http.Response) int {
 	t.Helper()
 	h := resp.Header.Get("Retry-After")

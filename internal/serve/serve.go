@@ -26,10 +26,19 @@
 //
 //	POST /v1/schedule   one graph (zoo name or inline JSON) -> schedule
 //	POST /v1/batch      many graphs through one backend -> schedules
+//	POST /v1/periodic   register a periodic (period, deadline) stream
+//	GET  /v1/periodic   periodic stream set + deadline-miss counters
+//	DELETE /v1/periodic/{name}  unregister a periodic stream
 //	GET  /v1/backends   registered backends, zoo models, class policies
 //	GET  /v1/stats      admission / cache / uptime counters
 //	GET  /metrics       Prometheus text exposition (v0.0.4)
 //	GET  /healthz       liveness probe
+//
+// The periodic endpoints are mounted only when Config.RT.Enabled is set:
+// the service then also runs a real-time dispatcher (internal/rt) that
+// releases one scheduling job per stream per period into a pluggable
+// FIFO/RM/EDF queue discipline, with schedulability-test admission and
+// deadline-miss/tardiness metrics.
 package serve
 
 import (
@@ -43,6 +52,7 @@ import (
 
 	"respect/internal/metrics"
 	"respect/internal/models"
+	"respect/internal/rt"
 	"respect/internal/solver"
 	"respect/internal/speculate"
 )
@@ -142,6 +152,9 @@ type Config struct {
 	// Speculation tunes speculative warm-cache scheduling for the
 	// warm-marked classes; the zero value leaves it off.
 	Speculation SpeculationConfig
+	// RT enables the periodic-task mode (/v1/periodic streams dispatched
+	// by deadline-aware queue disciplines); the zero value leaves it off.
+	RT RTConfig
 	// Logf, when set, receives service log lines (warm-up, shutdown).
 	Logf func(format string, args ...any)
 }
@@ -184,6 +197,15 @@ type Server struct {
 	reqSeconds     *metrics.HistogramVec // class, outcome
 	queueSeconds   *metrics.HistogramVec // class
 	admissionTotal *metrics.CounterVec   // class, result (func-backed)
+
+	// Periodic-task mode (nil/zero unless Config.RT.Enabled): the
+	// dispatcher, the rt metric families and the cost-estimate quantile.
+	rtDisp      *rt.Dispatcher
+	rtQuantile  float64
+	rtTardiness *metrics.Histogram
+	rtMisses    *metrics.CounterVec // stream, policy (func-backed)
+	rtReleases  *metrics.CounterVec // stream (func-backed)
+	rtUtil      *metrics.GaugeVec   // stream (func-backed)
 }
 
 // New validates cfg (unknown backend names in class policies are rejected
@@ -268,6 +290,9 @@ func New(cfg Config) (*Server, error) {
 	if err := s.initSpeculation(); err != nil {
 		return nil, err
 	}
+	if err := s.initRT(); err != nil {
+		return nil, err
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
@@ -275,6 +300,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.rtDisp != nil {
+		s.mux.HandleFunc("/v1/periodic", s.handlePeriodic)
+		s.mux.HandleFunc("/v1/periodic/", s.handlePeriodicItem)
+	}
 	if !cfg.DisableMetrics {
 		s.mux.Handle("/metrics", s.reg.Handler())
 	}
@@ -428,6 +457,11 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	}()
 	stopSpec := s.runSpeculators(ctx)
 	defer stopSpec()
+	stopRT, err := s.runRT(ctx)
+	if err != nil {
+		return err
+	}
+	defer stopRT()
 
 	httpSrv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
@@ -441,6 +475,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	warmCancel()
 	<-warmDone
 	stopSpec()
+	stopRT()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -472,6 +507,9 @@ type Stats struct {
 	// Speculation aggregates the class speculators' counters; absent when
 	// speculative warming is disabled.
 	Speculation *speculate.Stats `json:"speculation,omitempty"`
+	// RT is the periodic-task dispatcher snapshot; absent when the mode
+	// is disabled.
+	RT *rt.Stats `json:"rt,omitempty"`
 }
 
 // Stats snapshots admission, cache and request counters.
@@ -485,6 +523,10 @@ func (s *Server) Stats() Stats {
 	if len(s.speculators) > 0 {
 		agg := s.SpeculationStats()
 		out.Speculation = &agg
+	}
+	if s.rtDisp != nil {
+		rts := s.rtDisp.Stats()
+		out.RT = &rts
 	}
 	for class, st := range s.classes {
 		hits, misses := st.engine.Stats()

@@ -62,8 +62,12 @@ type Config struct {
 	// Occupancy reports current admission occupancy in [0, ∞): admitted
 	// plus queued work over the concurrency limit. nil means always idle.
 	Occupancy func() float64
-	// Watermark is the occupancy at or above which speculation yields
-	// (default 0.5). Must be in (0, 1] when set.
+	// Watermark is the occupancy at or above which speculation yields.
+	// Zero means unset and selects the 0.5 default; legal explicit values
+	// are (0, 1], plus WatermarkAlwaysYield to yield at any occupancy —
+	// muting warms entirely while demand tracking stays live, an
+	// operating point the zero value cannot express because it is taken
+	// by "unset".
 	Watermark float64
 	// Budget bounds speculative solves per pass (default 4).
 	Budget int
@@ -89,6 +93,14 @@ type Config struct {
 	// Logf, when set, receives speculation log lines.
 	Logf func(format string, args ...any)
 }
+
+// WatermarkAlwaysYield is the Config.Watermark sentinel for "yield at
+// any occupancy, including an idle controller": every pass counts its
+// candidates as watermark-skips and warms nothing, which mutes
+// speculative solving while keeping the demand tracking and stats live.
+// The zero value cannot express this — it means "unset" and selects the
+// default watermark.
+const WatermarkAlwaysYield = -1.0
 
 // Config defaults, applied by New for unset fields.
 const (
@@ -130,11 +142,17 @@ func New(cfg Config) (*Speculator, error) {
 	if cfg.Target == nil {
 		return nil, errors.New("speculate: Config.Target is required")
 	}
-	if cfg.Watermark == 0 {
+	switch {
+	case cfg.Watermark == 0:
 		cfg.Watermark = defaultWatermark
-	}
-	if cfg.Watermark < 0 || cfg.Watermark > 1 {
-		return nil, fmt.Errorf("speculate: watermark %v outside (0,1]", cfg.Watermark)
+	case cfg.Watermark == WatermarkAlwaysYield:
+		// Occupancy is never negative and the pass yields on
+		// occupancy >= watermark, so an effective watermark of 0 yields
+		// unconditionally.
+		cfg.Watermark = 0
+	case cfg.Watermark < 0 || cfg.Watermark > 1:
+		return nil, fmt.Errorf("speculate: watermark %v invalid: want (0,1], 0 for the %v default, or WatermarkAlwaysYield (%v)",
+			cfg.Watermark, defaultWatermark, WatermarkAlwaysYield)
 	}
 	if cfg.Budget == 0 {
 		cfg.Budget = defaultBudget

@@ -3,6 +3,7 @@ package speculate
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -454,5 +455,58 @@ func TestConfigValidation(t *testing.T) {
 	if sp.cfg.Watermark != defaultWatermark || sp.cfg.Budget != defaultBudget ||
 		sp.cfg.TopK != defaultTopK || sp.cfg.SolveBudget != defaultSolveBudget {
 		t.Fatalf("defaults not applied: %+v", sp.cfg)
+	}
+}
+
+// TestWatermarkUnsetDisabledDistinct pins the unset/disabled split: zero
+// still means "unset, take the default", the WatermarkAlwaysYield
+// sentinel is legal and mutes warms at any occupancy, and other negative
+// values are rejected with a message that states the actual legal
+// values rather than claiming 0 is outside (0,1] while silently
+// accepting it.
+func TestWatermarkUnsetDisabledDistinct(t *testing.T) {
+	// Rejected negatives name the sentinel and the default, so the legal
+	// surface is discoverable from the error alone.
+	_, err := New(Config{Target: newFakeTarget(), Watermark: -0.5})
+	if err == nil {
+		t.Fatal("negative non-sentinel watermark accepted")
+	}
+	for _, want := range []string{"(0,1]", "WatermarkAlwaysYield", "-1", "0.5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// The sentinel: passes yield even on a fully idle controller.
+	tgt := newFakeTarget()
+	occ := 0.0
+	var mu sync.Mutex
+	sp, err := New(Config{
+		Target:    tgt,
+		Occupancy: func() float64 { mu.Lock(); defer mu.Unlock(); return occ },
+		Watermark: WatermarkAlwaysYield,
+		Budget:    16,
+	})
+	if err != nil {
+		t.Fatalf("WatermarkAlwaysYield rejected: %v", err)
+	}
+	g := testGraph(t, 41)
+	sp.ObserveRequest(g, 3)
+	sp.ObserveRequest(g, 3)
+	if n := sp.RunOnce(context.Background()); n != 0 {
+		t.Fatalf("always-yield pass stored %d, want 0", n)
+	}
+	if tgt.warms != 0 {
+		t.Fatal("always-yield pass ran solves")
+	}
+	st := sp.Stats()
+	if st.SkippedWatermark == 0 || st.Attempts != 0 {
+		t.Fatalf("always-yield accounting wrong: %+v", st)
+	}
+
+	// Demand tracking stays live behind the mute: the hot key is still
+	// attributable state, it just never got warmed.
+	if sp.WasSpeculative(g.Fingerprint(), 3) {
+		t.Fatal("muted speculator marked a key speculative")
 	}
 }
