@@ -9,6 +9,8 @@
 //	respect-serve -addr 127.0.0.1:0 -warm none -batch-budget 10s
 //	respect-serve -addr :8080 -speculate -speculate-watermark 0.6 -speculate-budget 8
 //	respect-serve -addr :8080 -rt -rt-policy rm
+//	respect-serve -addr :8080 -advertise http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
 //
 //	curl -s localhost:8080/v1/schedule -d '{"model":"ResNet152","stages":6}'
 //	curl -s localhost:8080/v1/periodic -d '{"name":"cam","model":"MobileNet","period_ms":100}'
@@ -110,6 +112,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		speculateOn = fs.Bool("speculate", false, "speculatively warm the per-class caches from popularity + eviction signals")
 		specMark    = fs.Float64("speculate-watermark", 0, "admission occupancy in (0,1] at which speculation yields (0 keeps the default, 0.5)")
 		specBudget  = fs.Int("speculate-budget", 0, "max speculative solves per scan pass (0 keeps the default, 4)")
+		peersList   = fs.String("peers", "", "comma-separated replica URLs; enables fleet mode (consistent-hash sharding, request forwarding, popularity gossip)")
+		advertise   = fs.String("advertise", "", "this replica's URL as its peers reach it (required with -peers)")
+		noGossip    = fs.Bool("no-gossip", false, "in fleet mode, disable the popularity gossip exchange (sharding and forwarding stay on)")
 		rtOn        = fs.Bool("rt", false, "enable the periodic-task mode: register (model, period, deadline) streams on POST /v1/periodic")
 		rtPolicy    = fs.String("rt-policy", "edf", `periodic queue discipline: "fifo", "rm" or "edf"`)
 		rtUtilBound = fs.Float64("rt-util-bound", 0, "override the schedulability utilization bound (0 keeps the policy default and the response-time analysis)")
@@ -181,6 +186,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Enabled:   *rtOn,
 			Policy:    *rtPolicy,
 			UtilBound: *rtUtilBound,
+		},
+		Cluster: serve.ClusterConfig{
+			Advertise:     *advertise,
+			Peers:         splitNames(*peersList),
+			DisableGossip: *noGossip,
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)

@@ -326,6 +326,103 @@ func TestRunRTFlags(t *testing.T) {
 	}
 }
 
+// TestRunClusterFlags boots a replica in fleet mode with one unreachable
+// peer: the cluster endpoints and metric families come up, /v1/stats
+// carries the cluster block, and bad fleet flags are config errors.
+func TestRunClusterFlags(t *testing.T) {
+	// Port 9 (discard) refuses connections immediately, so the dead peer
+	// never slows the test down.
+	base, _, cancel, done := startServe(t,
+		"-advertise", "http://127.0.0.1:18080",
+		"-peers", "http://127.0.0.1:18080,http://127.0.0.1:9")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs struct {
+		Self    string `json:"self"`
+		Members []struct {
+			URL   string `json:"url"`
+			Self  bool   `json:"self"`
+			State string `json:"state"`
+		} `json:"members"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cs)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Self != "http://127.0.0.1:18080" || len(cs.Members) != 2 {
+		t.Fatalf("cluster stats: self %q with %d members, want advertise URL with 2", cs.Self, len(cs.Members))
+	}
+
+	hresp, err := http.Get(base + "/v1/cluster/heartbeat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb struct {
+		From string `json:"from"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hb)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.From != "http://127.0.0.1:18080" {
+		t.Fatalf("heartbeat from %q, want the advertise URL", hb.From)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"respect_cluster_forwards_total",
+		`respect_cluster_peer_state{peer="http://127.0.0.1:9"}`,
+		"respect_cluster_rebalances_total",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("exposition missing %q in fleet mode:\n%s", want, page)
+		}
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Cluster *struct {
+			Self string `json:"self"`
+		} `json:"cluster"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil || st.Cluster.Self != "http://127.0.0.1:18080" {
+		t.Fatalf("stats cluster block missing or wrong: %+v", st.Cluster)
+	}
+
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "none",
+		"-peers", "http://127.0.0.1:9"}, &out); err == nil {
+		t.Fatal("want missing-advertise error")
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "none",
+		"-advertise", "http://127.0.0.1:18080"}, &out); err == nil {
+		t.Fatal("want advertise-without-peers error")
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm", "none",
+		"-advertise", "http://127.0.0.1:18080", "-peers", "not-a-url"}, &out); err == nil {
+		t.Fatal("want bad-peer-URL error")
+	}
+}
+
 // TestRunWarmSetAndFlagErrors covers the warm-set plumbing and flag
 // validation without binding a real port twice.
 func TestRunWarmSetAndFlagErrors(t *testing.T) {

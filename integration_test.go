@@ -1,13 +1,25 @@
 package respect
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
+	"respect/internal/cluster"
 	"respect/internal/deploy"
+	"respect/internal/graph"
 	"respect/internal/models"
+	"respect/internal/serve"
 	"respect/internal/tpu"
 )
 
@@ -100,5 +112,455 @@ func TestSchedulerQualityOrdering(t *testing.T) {
 		if comp.PeakParamBytes < opt.PeakParamBytes {
 			t.Fatalf("%d stages: compiler %v beats optimum %v", ns, comp, opt)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-scale sharded serving: chaos/partition end-to-end suite.
+//
+// The tests below boot 3-5 in-process replicas over httptest with a static
+// peer list and drive membership probes, popularity gossip and speculation
+// passes explicitly (no background loops), so every assertion is
+// deterministic under -race. A kill is the replica's HTTP server closing
+// (peers see connection refusals); a partition is a cut link in a shared
+// reachability matrix behind each replica's HTTP transport.
+// ---------------------------------------------------------------------------
+
+// fleetPartition is the shared reachability matrix between fleet replicas.
+type fleetPartition struct {
+	mu      sync.Mutex
+	blocked map[[2]string]bool
+}
+
+func newFleetPartition() *fleetPartition {
+	return &fleetPartition{blocked: make(map[[2]string]bool)}
+}
+
+func (p *fleetPartition) set(from, to string, blocked bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked[[2]string{from, to}] = blocked
+}
+
+// isolate cuts (or heals) both directions between url and every other
+// fleet member.
+func (p *fleetPartition) isolate(url string, members []string, blocked bool) {
+	for _, m := range members {
+		if m == url {
+			continue
+		}
+		p.set(url, m, blocked)
+		p.set(m, url, blocked)
+	}
+}
+
+func (p *fleetPartition) isBlocked(from, to string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked[[2]string{from, to}]
+}
+
+// partitionTransport is one replica's outbound HTTP transport; requests
+// crossing a cut link fail with a transport error, like a real partition.
+type partitionTransport struct {
+	from string
+	part *fleetPartition
+}
+
+func (tr *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := req.URL.Scheme + "://" + req.URL.Host
+	if tr.part.isBlocked(tr.from, to) {
+		return nil, fmt.Errorf("partition: %s cannot reach %s", tr.from, to)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// fleetNode is one in-process replica: a serve.Server on a real listener.
+type fleetNode struct {
+	url string
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+// kill stops the replica's HTTP server; peers see connection refusals.
+func (n *fleetNode) kill() { n.ts.Close() }
+
+// newFleet boots n replicas that know each other via a static peer list.
+func newFleet(t *testing.T, n int, mutate func(i int, cfg *serve.Config)) ([]*fleetNode, *fleetPartition) {
+	t.Helper()
+	// Listeners are bound before any server is constructed so every
+	// replica's config can carry the full peer URL list.
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	part := newFleetPartition()
+	nodes := make([]*fleetNode, n)
+	for i := range lns {
+		cfg := serve.Config{
+			WarmModels: []string{},
+			Cluster: serve.ClusterConfig{
+				Advertise: urls[i],
+				Peers:     append([]string(nil), urls...),
+				Client: &http.Client{
+					Transport: &partitionTransport{from: urls[i], part: part},
+					Timeout:   5 * time.Second,
+				},
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv, err := serve.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: srv}}
+		ts.Start()
+		t.Cleanup(ts.Close) // idempotent; killed nodes are already closed
+		nodes[i] = &fleetNode{url: urls[i], srv: srv, ts: ts}
+	}
+	return nodes, part
+}
+
+// fleetGraph builds a small chain graph whose parameters vary with seed,
+// so every seed yields a distinct fingerprint, plus its wire form.
+func fleetGraph(t *testing.T, seed int) (*graph.Graph, []byte) {
+	t.Helper()
+	g := graph.New(fmt.Sprintf("fleet-%d", seed))
+	for i := 0; i < 6; i++ {
+		g.AddNode(graph.Node{
+			Name:       fmt.Sprintf("n%d", i),
+			ParamBytes: int64(1000 + 37*seed + i),
+			OutBytes:   int64(8 + i),
+		})
+		if i > 0 {
+			g.AddEdge(i-1, i)
+		}
+	}
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return g, buf.Bytes()
+}
+
+// fleetSchedule POSTs one inline-graph schedule request to a replica.
+func fleetSchedule(t *testing.T, base string, raw []byte) (*http.Response, serve.ScheduleResponse) {
+	t.Helper()
+	body, err := json.Marshal(serve.ScheduleRequest{Graph: raw, Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out serve.ScheduleResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+	}
+	return resp, out
+}
+
+// TestFleetShardingAndForwarding checks the steady-state fleet contract on
+// three replicas: every replica agrees on each fingerprint's home shard,
+// requests entering through a non-owner are relayed to the owner (and say
+// so), and the shard concentration pays off — a repeat request through a
+// different non-owner hits the owner's cache.
+func TestFleetShardingAndForwarding(t *testing.T) {
+	nodes, _ := newFleet(t, 3, nil)
+
+	const trace = 12
+	for seed := 0; seed < trace; seed++ {
+		g, raw := fleetGraph(t, seed)
+		fp := g.Fingerprint()
+		owner, _ := nodes[0].srv.Cluster().Owner(fp)
+		for _, n := range nodes[1:] {
+			if o, _ := n.srv.Cluster().Owner(fp); o != owner {
+				t.Fatalf("owner disagreement for %016x: %q vs %q", fp, owner, o)
+			}
+		}
+		var sender *fleetNode
+		for _, n := range nodes {
+			if n.url != owner {
+				sender = n
+				break
+			}
+		}
+		resp, out := fleetSchedule(t, sender.url, raw)
+		if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+			t.Fatalf("seed %d: status %d with %d-stage schedule", seed, resp.StatusCode, len(out.Stage))
+		}
+		if got := resp.Header.Get(serve.ForwardedToHeader); got != owner {
+			t.Fatalf("seed %d: forwarded to %q, want owner %q", seed, got, owner)
+		}
+	}
+	var relayed uint64
+	for _, n := range nodes {
+		relayed += n.srv.ClusterStats().ForwardsRelayed
+	}
+	if relayed != trace {
+		t.Fatalf("relay counters: %d, want %d (one per request)", relayed, trace)
+	}
+
+	// Re-request seed 0 through every non-owner: the owner solved it once,
+	// so both relays must come back as cache hits.
+	g, raw := fleetGraph(t, 0)
+	owner, _ := nodes[0].srv.Cluster().Owner(g.Fingerprint())
+	for _, n := range nodes {
+		if n.url == owner {
+			continue
+		}
+		resp, out := fleetSchedule(t, n.url, raw)
+		if resp.StatusCode != http.StatusOK || !out.CacheHit {
+			t.Fatalf("repeat via %s: status %d cache_hit=%v, want a relayed owner-cache hit",
+				n.url, resp.StatusCode, out.CacheHit)
+		}
+	}
+}
+
+// TestFleetChaosKillZeroLoss kills a replica mid-replay on a four-node
+// fleet and asserts the three chaos invariants: (a) zero lost admitted
+// requests — every request returns a valid schedule throughout, forwards
+// to the dead owner falling back to local solves; (b) membership
+// converges — after the probe threshold the victim is dead on every
+// survivor and owns nothing; (c) stale owners stop being consulted — the
+// post-convergence replay adds no forward errors.
+func TestFleetChaosKillZeroLoss(t *testing.T) {
+	nodes, _ := newFleet(t, 4, nil)
+	ctx := context.Background()
+
+	type traceReq struct {
+		g   *graph.Graph
+		raw []byte
+	}
+	var reqs []traceReq
+	for seed := 0; seed < 36; seed++ {
+		g, raw := fleetGraph(t, seed)
+		reqs = append(reqs, traceReq{g, raw})
+	}
+	victim, survivors := nodes[3], nodes[:3]
+
+	// Phase 1: healthy replay across the whole fleet.
+	for k, rq := range reqs[:12] {
+		resp, out := fleetSchedule(t, nodes[k%len(nodes)].url, rq.raw)
+		if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+			t.Fatalf("pre-kill request %d lost: status %d", k, resp.StatusCode)
+		}
+	}
+
+	// Phase 2: kill mid-replay; survivors must lose nothing.
+	victim.kill()
+	for k, rq := range reqs[12:24] {
+		resp, out := fleetSchedule(t, survivors[k%len(survivors)].url, rq.raw)
+		if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+			t.Fatalf("post-kill request %d lost: status %d", k, resp.StatusCode)
+		}
+	}
+
+	// Phase 3: convergence. Three failed probe rounds (the DeadAfter
+	// default) take the victim out of every survivor's ring.
+	for round := 0; round < 3; round++ {
+		for _, n := range survivors {
+			n.srv.Cluster().ProbeOnce(ctx)
+		}
+	}
+	for _, n := range survivors {
+		if st, ok := n.srv.Cluster().PeerState(victim.url); !ok || st != cluster.StateDead {
+			t.Fatalf("%s sees victim as %v, want dead", n.url, st)
+		}
+		if n.srv.Cluster().Rebalances() == 0 {
+			t.Fatalf("%s never rebalanced after the kill", n.url)
+		}
+		for _, rq := range reqs {
+			if owner, _ := n.srv.Cluster().Owner(rq.g.Fingerprint()); owner == victim.url {
+				t.Fatalf("converged ring on %s still routes %s to the dead replica", n.url, rq.g.Name)
+			}
+		}
+	}
+
+	// Phase 4: the dead owner is never consulted again.
+	before := make([]uint64, len(survivors))
+	for i, n := range survivors {
+		before[i] = n.srv.ClusterStats().ForwardErrors
+	}
+	for k, rq := range reqs[24:] {
+		resp, out := fleetSchedule(t, survivors[k%len(survivors)].url, rq.raw)
+		if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+			t.Fatalf("post-convergence request %d lost: status %d", k, resp.StatusCode)
+		}
+	}
+	for i, n := range survivors {
+		if got := n.srv.ClusterStats().ForwardErrors; got != before[i] {
+			t.Fatalf("%s consulted the dead owner after convergence: forward errors %d -> %d",
+				n.url, before[i], got)
+		}
+	}
+}
+
+// TestFleetPartitionSuspectFallback partitions an owner away on a
+// three-node fleet: the first forward fails over to a local solve, one
+// failed probe demotes the owner to suspect (kept in the ring, no longer
+// consulted), and healing the partition restores forwarding.
+func TestFleetPartitionSuspectFallback(t *testing.T) {
+	nodes, part := newFleet(t, 3, nil)
+	ctx := context.Background()
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	owner := nodes[2]
+
+	var g *graph.Graph
+	var raw []byte
+	for seed := 0; g == nil; seed++ {
+		cand, candRaw := fleetGraph(t, seed)
+		if o, _ := nodes[0].srv.Cluster().Owner(cand.Fingerprint()); o == owner.url {
+			g, raw = cand, candRaw
+		}
+	}
+	sender := nodes[0]
+
+	// Cut the owner off: the forward fails, the local fallback serves.
+	part.isolate(owner.url, urls, true)
+	resp, out := fleetSchedule(t, sender.url, raw)
+	if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+		t.Fatalf("partitioned request lost: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(serve.ForwardedToHeader) != "" {
+		t.Fatal("partitioned owner cannot have answered")
+	}
+	if sender.srv.ClusterStats().ForwardErrors == 0 {
+		t.Fatal("failed forward not recorded")
+	}
+
+	// One failed probe: suspect. Still the ring owner, no longer consulted.
+	sender.srv.Cluster().ProbeOnce(ctx)
+	if st, _ := sender.srv.Cluster().PeerState(owner.url); st != cluster.StateSuspect {
+		t.Fatalf("owner state %v after one failed probe, want suspect", st)
+	}
+	if o, _ := sender.srv.Cluster().Owner(g.Fingerprint()); o != owner.url {
+		t.Fatal("suspect member must keep ring ownership (no rebalance churn)")
+	}
+	errsBefore := sender.srv.ClusterStats().ForwardErrors
+	resp, out = fleetSchedule(t, sender.url, raw)
+	if resp.StatusCode != http.StatusOK || len(out.Stage) == 0 {
+		t.Fatalf("suspect-owner request lost: status %d", resp.StatusCode)
+	}
+	cs := sender.srv.ClusterStats()
+	if cs.ForwardErrors != errsBefore {
+		t.Fatal("suspect owner was still consulted")
+	}
+	if cs.ForwardsLocalUnhealthy == 0 {
+		t.Fatal("local-unhealthy fallback not recorded")
+	}
+
+	// Heal: one successful probe restores alive and forwarding resumes.
+	part.isolate(owner.url, urls, false)
+	sender.srv.Cluster().ProbeOnce(ctx)
+	if st, _ := sender.srv.Cluster().PeerState(owner.url); st != cluster.StateAlive {
+		t.Fatalf("owner state %v after heal, want alive", st)
+	}
+	resp, _ = fleetSchedule(t, sender.url, raw)
+	if got := resp.Header.Get(serve.ForwardedToHeader); got != owner.url {
+		t.Fatalf("forwarding did not resume after heal (forwarded-to %q)", got)
+	}
+}
+
+// TestFleetGossipSpeedsWarmRecovery runs the same kill scenario twice —
+// popularity gossip on, then off — and compares first-pass cache hits on
+// the reassigned hot set. With gossip the survivors pre-warmed the
+// victim's hot instances, so recovery starts from hits; without it the
+// first pass is all misses.
+func TestFleetGossipSpeedsWarmRecovery(t *testing.T) {
+	firstPassHits := func(gossip bool) (hits, total int) {
+		nodes, _ := newFleet(t, 3, func(i int, cfg *serve.Config) {
+			cfg.Speculation = serve.SpeculationConfig{Enabled: true, Budget: 16, TopK: 16}
+			cfg.Cluster.DisableGossip = !gossip
+		})
+		ctx := context.Background()
+		victim, survivors := nodes[2], nodes[:2]
+
+		// The hot set: graphs whose home shard is the victim.
+		type hot struct {
+			g   *graph.Graph
+			raw []byte
+		}
+		var hotset []hot
+		for seed := 100; len(hotset) < 4; seed++ {
+			g, raw := fleetGraph(t, seed)
+			if o, _ := nodes[0].srv.Cluster().Owner(g.Fingerprint()); o == victim.url {
+				hotset = append(hotset, hot{g, raw})
+			}
+		}
+		// Hot traffic lands on the owner (as the proxy layer routes it).
+		for _, h := range hotset {
+			for i := 0; i < 3; i++ {
+				resp, _ := fleetSchedule(t, victim.url, h.raw)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("hot traffic failed: status %d", resp.StatusCode)
+				}
+			}
+		}
+		// One gossip round, then a speculation pass on the survivors.
+		victim.srv.Cluster().GossipOnce(ctx)
+		for _, n := range survivors {
+			n.srv.SpeculateOnce(ctx)
+		}
+
+		// Kill the victim and converge membership on the survivors.
+		victim.kill()
+		for round := 0; round < 3; round++ {
+			for _, n := range survivors {
+				n.srv.Cluster().ProbeOnce(ctx)
+			}
+		}
+
+		// First post-kill pass over the hot set via the new owners.
+		for _, h := range hotset {
+			owner, _ := survivors[0].srv.Cluster().Owner(h.g.Fingerprint())
+			var target *fleetNode
+			for _, n := range survivors {
+				if n.url == owner {
+					target = n
+				}
+			}
+			if target == nil {
+				t.Fatalf("hot graph %s has no surviving owner (owner %q)", h.g.Name, owner)
+			}
+			resp, out := fleetSchedule(t, target.url, h.raw)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("post-kill hot request failed: status %d", resp.StatusCode)
+			}
+			if out.CacheHit {
+				hits++
+			}
+		}
+		return hits, len(hotset)
+	}
+
+	withGossip, total := firstPassHits(true)
+	withoutGossip, _ := firstPassHits(false)
+	if withoutGossip != 0 {
+		t.Fatalf("without gossip the survivors cannot have pre-warmed the hot set: %d/%d hits",
+			withoutGossip, total)
+	}
+	if withGossip <= withoutGossip {
+		t.Fatalf("gossip must speed warm recovery: %d/%d first-pass hits with gossip, %d/%d without",
+			withGossip, total, withoutGossip, total)
 	}
 }

@@ -1,0 +1,409 @@
+// Package cluster turns a set of independent scheduling replicas into a
+// fleet: it shards the graph-fingerprint space across replicas with a
+// consistent-hash ring (every fingerprint has exactly one home shard),
+// maintains health-checked membership over a static peer list (heartbeat
+// probing with alive → suspect → dead transitions and deterministic
+// rebalancing on membership change), and gossips the speculation
+// popularity counters so the whole fleet warms a hot instance once
+// instead of N times.
+//
+// The package is transport-light by design: a Node speaks plain HTTP/JSON
+// to its peers (heartbeat GETs and gossip POSTs against paths the serving
+// layer mounts), and the serving layer owns request forwarding — cluster
+// only answers "who owns this fingerprint, and are they healthy?" via
+// Owner and ForwardTarget. Every decision is a pure function of the
+// locally observed peer states, so two replicas with the same view agree
+// on every owner without any coordination protocol.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"respect/internal/graph"
+)
+
+// HotEntry is one popular scheduling instance exchanged over gossip: the
+// graph itself (so a remote replica can warm without a client round trip),
+// the requested stage count, the decayed popularity score, and the serving
+// class whose cache should be warmed.
+type HotEntry struct {
+	// Class names the serving class whose warm cache this entry targets.
+	Class string
+	// Graph is the full graph payload; never nil in a decoded message.
+	Graph *graph.Graph
+	// Stages is the requested pipeline length.
+	Stages int
+	// Score is the sender's decayed popularity score for the instance.
+	Score float64
+}
+
+// GossipSource supplies the local hot set for outbound gossip.
+type GossipSource interface {
+	// HotEntries returns up to max entries worth pushing to peers, hottest
+	// first. Entries without a retained graph are not useful to peers and
+	// should be omitted.
+	HotEntries(max int) []HotEntry
+}
+
+// GossipSink merges inbound gossip into local speculation state.
+type GossipSink interface {
+	// MergeRemote folds a peer's hot entries into local popularity
+	// tracking and returns how many keys were merged. Implementations
+	// must treat repeated deliveries idempotently (max-merge, not add).
+	MergeRemote(from string, entries []HotEntry) int
+}
+
+// Config describes one replica's view of the fleet. Self and the peer
+// list are static — membership health is discovered, membership identity
+// is configuration.
+type Config struct {
+	// Self is this replica's advertise URL (scheme://host:port), the
+	// identity peers know it by. Required.
+	Self string
+	// Peers lists every replica's advertise URL. Self is filtered out,
+	// duplicates are dropped; the empty list is a single-node fleet.
+	Peers []string
+	// VirtualNodes is the number of ring points per member (default 64).
+	VirtualNodes int
+	// SuspectAfter is the consecutive probe failures after which a peer
+	// is suspect — still an owner, but not forwarded to (default 1).
+	SuspectAfter int
+	// DeadAfter is the consecutive probe failures after which a peer is
+	// dead and leaves the ring (default 3). Must be >= SuspectAfter.
+	DeadAfter int
+	// ProbeInterval paces the background heartbeat loop (default 500ms).
+	ProbeInterval time.Duration
+	// GossipInterval paces the background gossip loop (default 2s).
+	GossipInterval time.Duration
+	// GossipTopK bounds the entries pushed per gossip round (default 16).
+	GossipTopK int
+	// MaxStages bounds the stage count accepted in gossip entries
+	// (default 64, matching the serving layer's request validation).
+	MaxStages int
+	// Client issues heartbeat and gossip requests. The default client
+	// has a 2s timeout. Tests inject partition-aware transports here.
+	Client *http.Client
+	// HeartbeatPath is the peer endpoint probed for liveness
+	// (default /v1/cluster/heartbeat).
+	HeartbeatPath string
+	// GossipPath is the peer endpoint gossip is POSTed to
+	// (default /v1/cluster/gossip).
+	GossipPath string
+	// Source, when set, supplies outbound gossip entries.
+	Source GossipSource
+	// Sink, when set, receives inbound gossip entries.
+	Sink GossipSink
+	// Now is an injectable clock for deterministic tests (default
+	// time.Now); it feeds uptime reporting only.
+	Now func() time.Time
+	// Logf, when set, receives membership-transition and gossip log lines.
+	Logf func(format string, args ...any)
+}
+
+// Config defaults, applied by New for unset fields.
+const (
+	defaultVirtualNodes   = 64
+	defaultSuspectAfter   = 1
+	defaultDeadAfter      = 3
+	defaultProbeInterval  = 500 * time.Millisecond
+	defaultGossipInterval = 2 * time.Second
+	defaultGossipTopK     = 16
+	defaultMaxStages      = 64
+	defaultClientTimeout  = 2 * time.Second
+)
+
+// peer is the mutable per-peer health state, guarded by Node.mu.
+type peer struct {
+	url      string
+	state    State
+	fails    int    // consecutive probe failures
+	probes   uint64 // total probes issued
+	failures uint64 // total probes failed
+}
+
+// Node is one replica's membership, sharding and gossip engine. Create
+// with New; either call Run for the background loops or drive ProbeOnce /
+// GossipOnce explicitly (the chaos harness does). All methods are safe
+// for concurrent use.
+type Node struct {
+	cfg    Config
+	client *http.Client
+	start  time.Time
+
+	mu    sync.Mutex
+	peers []*peer // sorted by URL; never contains Self
+	ring  *ring   // over Self + non-dead peers
+
+	rebalances       atomic.Uint64
+	gossipSent       atomic.Uint64
+	gossipSendErrors atomic.Uint64
+	gossipReceived   atomic.Uint64
+	gossipMerged     atomic.Uint64
+}
+
+// New validates cfg, applies defaults and returns a ready Node with every
+// configured peer presumed alive (the optimistic start means a booting
+// fleet shards immediately; the first probe round corrects the view).
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self (advertise URL) is required")
+	}
+	if err := checkURL(cfg.Self); err != nil {
+		return nil, fmt.Errorf("cluster: self %q: %w", cfg.Self, err)
+	}
+	if cfg.VirtualNodes < 1 {
+		cfg.VirtualNodes = defaultVirtualNodes
+	}
+	if cfg.SuspectAfter < 1 {
+		cfg.SuspectAfter = defaultSuspectAfter
+	}
+	if cfg.DeadAfter < 1 {
+		cfg.DeadAfter = defaultDeadAfter
+	}
+	if cfg.DeadAfter < cfg.SuspectAfter {
+		return nil, fmt.Errorf("cluster: DeadAfter %d < SuspectAfter %d", cfg.DeadAfter, cfg.SuspectAfter)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = defaultGossipInterval
+	}
+	if cfg.GossipTopK < 1 {
+		cfg.GossipTopK = defaultGossipTopK
+	}
+	if cfg.MaxStages < 1 {
+		cfg.MaxStages = defaultMaxStages
+	}
+	if cfg.HeartbeatPath == "" {
+		cfg.HeartbeatPath = "/v1/cluster/heartbeat"
+	}
+	if cfg.GossipPath == "" {
+		cfg.GossipPath = "/v1/cluster/gossip"
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: defaultClientTimeout}
+	}
+
+	seen := map[string]bool{cfg.Self: true}
+	var peers []*peer
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(p, "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		if err := checkURL(p); err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", p, err)
+		}
+		seen[p] = true
+		peers = append(peers, &peer{url: p, state: StateAlive})
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].url < peers[j].url })
+
+	n := &Node{
+		cfg:    cfg,
+		client: client,
+		start:  cfg.Now(),
+		peers:  peers,
+	}
+	n.rebuildRingLocked()
+	return n, nil
+}
+
+// checkURL rejects advertise URLs a peer could not actually dial.
+func checkURL(s string) error {
+	u, err := url.Parse(s)
+	if err != nil {
+		return err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("scheme %q: want http or https", u.Scheme)
+	}
+	if u.Host == "" {
+		return errors.New("missing host")
+	}
+	return nil
+}
+
+// Self returns this replica's advertise URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// rebuildRingLocked rebuilds the ring over Self plus every non-dead peer.
+// Called with n.mu held. Membership is the only input, so two replicas
+// that agree on who is dead agree on every owner.
+func (n *Node) rebuildRingLocked() {
+	members := make([]string, 0, len(n.peers)+1)
+	members = append(members, n.cfg.Self)
+	for _, p := range n.peers {
+		if p.state != StateDead {
+			members = append(members, p.url)
+		}
+	}
+	n.ring = newRing(members, n.cfg.VirtualNodes)
+}
+
+// Owner returns the advertise URL of the fingerprint's home shard under
+// the current membership view, and whether that shard is this replica.
+func (n *Node) Owner(fp uint64) (string, bool) {
+	n.mu.Lock()
+	owner := n.ring.owner(fp)
+	n.mu.Unlock()
+	return owner, owner == n.cfg.Self
+}
+
+// ForwardTarget reports where a request for fp should be proxied: the
+// owner's URL when the owner is a healthy (alive) remote peer, and
+// ok=false when this replica owns fp or the owner is suspect — the
+// local-solve fallback path.
+func (n *Node) ForwardTarget(fp uint64) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	owner := n.ring.owner(fp)
+	if owner == n.cfg.Self {
+		return "", false
+	}
+	for _, p := range n.peers {
+		if p.url == owner {
+			return owner, p.state == StateAlive
+		}
+	}
+	return "", false
+}
+
+// Run drives the background probe and gossip loops until ctx is
+// cancelled. The chaos harness skips Run and calls ProbeOnce/GossipOnce
+// directly for deterministic scheduling.
+func (n *Node) Run(ctx context.Context) {
+	probe := time.NewTicker(n.cfg.ProbeInterval)
+	defer probe.Stop()
+	gossip := time.NewTicker(n.cfg.GossipInterval)
+	defer gossip.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-probe.C:
+			n.ProbeOnce(ctx)
+		case <-gossip.C:
+			n.GossipOnce(ctx)
+		}
+	}
+}
+
+// MemberInfo is one member's state in a Stats snapshot.
+type MemberInfo struct {
+	// URL is the member's advertise URL.
+	URL string `json:"url"`
+	// Self marks the reporting replica's own row.
+	Self bool `json:"self,omitempty"`
+	// State is the observed membership state ("alive", "suspect", "dead").
+	State string `json:"state"`
+	// ConsecutiveFails is the current unbroken probe-failure run.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// Probes and Failures are lifetime probe counters for the member.
+	Probes   uint64 `json:"probes,omitempty"`
+	Failures uint64 `json:"failures,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the node's membership and gossip
+// counters; it backs GET /v1/cluster and the metric families.
+type Stats struct {
+	// Self is this replica's advertise URL.
+	Self string `json:"self"`
+	// Members lists every configured member (self first, peers by URL).
+	Members []MemberInfo `json:"members"`
+	// Rebalances counts ring rebuilds caused by membership transitions.
+	Rebalances uint64 `json:"rebalances"`
+	// GossipSent / GossipSendErrors count outbound gossip POSTs.
+	GossipSent       uint64 `json:"gossip_sent"`
+	GossipSendErrors uint64 `json:"gossip_send_errors"`
+	// GossipReceived counts inbound gossip messages accepted.
+	GossipReceived uint64 `json:"gossip_received"`
+	// GossipMergedKeys counts hot keys folded into local state.
+	GossipMergedKeys uint64 `json:"gossip_merged_keys"`
+}
+
+// Stats snapshots membership and gossip counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	members := make([]MemberInfo, 0, len(n.peers)+1)
+	members = append(members, MemberInfo{URL: n.cfg.Self, Self: true, State: StateAlive.String()})
+	for _, p := range n.peers {
+		members = append(members, MemberInfo{
+			URL:              p.url,
+			State:            p.state.String(),
+			ConsecutiveFails: p.fails,
+			Probes:           p.probes,
+			Failures:         p.failures,
+		})
+	}
+	n.mu.Unlock()
+	return Stats{
+		Self:             n.cfg.Self,
+		Members:          members,
+		Rebalances:       n.rebalances.Load(),
+		GossipSent:       n.gossipSent.Load(),
+		GossipSendErrors: n.gossipSendErrors.Load(),
+		GossipReceived:   n.gossipReceived.Load(),
+		GossipMergedKeys: n.gossipMerged.Load(),
+	}
+}
+
+// Rebalances returns the ring-rebuild counter (lock-free; metrics read it
+// at scrape time).
+func (n *Node) Rebalances() uint64 { return n.rebalances.Load() }
+
+// GossipSentCount returns successful outbound gossip sends (lock-free).
+func (n *Node) GossipSentCount() uint64 { return n.gossipSent.Load() }
+
+// GossipSendErrorCount returns failed outbound gossip sends (lock-free).
+func (n *Node) GossipSendErrorCount() uint64 { return n.gossipSendErrors.Load() }
+
+// GossipReceivedCount returns accepted inbound gossip messages (lock-free).
+func (n *Node) GossipReceivedCount() uint64 { return n.gossipReceived.Load() }
+
+// GossipMergedCount returns hot keys merged from inbound gossip (lock-free).
+func (n *Node) GossipMergedCount() uint64 { return n.gossipMerged.Load() }
+
+// Peers returns the configured peer URLs (self excluded), sorted.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.peers))
+	for i, p := range n.peers {
+		out[i] = p.url
+	}
+	return out
+}
+
+// PeerState returns the observed state of one configured peer.
+func (n *Node) PeerState(url string) (State, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p.url == url {
+			return p.state, true
+		}
+	}
+	return StateDead, false
+}
+
+// logf forwards to the configured logger, if any.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,556 @@
+// Unit tests for the cluster layer: consistent-hash ring properties
+// (agreement, balance, minimal disruption), membership state transitions
+// driven through a fake in-memory transport, forward-target semantics,
+// and the gossip wire protocol (round trip, validation, sink merging).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"respect/internal/graph"
+)
+
+// testGraph builds a small chain graph whose fingerprint varies with i.
+func testGraph(i int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("cluster-test-%d", i))
+	for n := 0; n < 6; n++ {
+		g.AddNode(graph.Node{
+			Name:       fmt.Sprintf("n%d", n),
+			Kind:       graph.OpConv,
+			ParamBytes: int64(500 + 31*i + n),
+			OutBytes:   64,
+			MACs:       1000,
+		})
+		if n > 0 {
+			g.AddEdge(n-1, n)
+		}
+	}
+	if err := g.Build(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRingAgreementAndBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(members, 64)
+	r2 := newRing([]string{members[2], members[0], members[1]}, 64)
+
+	rng := rand.New(rand.NewSource(42))
+	owned := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		fp := rng.Uint64()
+		o1, o2 := r1.owner(fp), r2.owner(fp)
+		if o1 != o2 {
+			t.Fatalf("fp %x: ring order changed owner %q -> %q", fp, o1, o2)
+		}
+		owned[o1]++
+	}
+	for _, m := range members {
+		if owned[m] < 4000/3/3 {
+			t.Errorf("member %s owns only %d/4000 keys; ring is badly unbalanced (%v)", m, owned[m], owned)
+		}
+	}
+}
+
+// TestRingBalanceSimilarURLs pins the fleet-realistic case: member URLs
+// identical except for one port digit. The raw FNV point hash barely
+// avalanches on a late-byte difference, leaving one member with 70%+ of
+// the keyspace; the mix64 finalizer must keep every member near its
+// fair third.
+func TestRingBalanceSimilarURLs(t *testing.T) {
+	members := []string{
+		"http://127.0.0.1:18081",
+		"http://127.0.0.1:18082",
+		"http://127.0.0.1:18083",
+	}
+	r := newRing(members, 64)
+	rng := rand.New(rand.NewSource(1))
+	owned := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owned[r.owner(rng.Uint64())]++
+	}
+	// With 64 vnodes/member the share's standard deviation is ~4%, so
+	// anything under 20% means the points are correlated, not unlucky.
+	for _, m := range members {
+		if share := float64(owned[m]) / keys; share < 0.20 {
+			t.Errorf("member %s owns %.1f%% of the keyspace; vnode points are correlated (%v)", m, 100*share, owned)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := newRing(all, 64)
+	without := newRing(all[:2], 64) // c removed
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		fp := rng.Uint64()
+		before, after := full.owner(fp), without.owner(fp)
+		if before != "http://c:1" && before != after {
+			t.Fatalf("fp %x: owner moved %q -> %q though %q stayed in the ring", fp, before, after, before)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil, 64).owner(123); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing self", Config{}},
+		{"bad self scheme", Config{Self: "ftp://x:1"}},
+		{"bad peer", Config{Self: "http://a:1", Peers: []string{"not a url://"}}},
+		{"dead before suspect", Config{Self: "http://a:1", SuspectAfter: 3, DeadAfter: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+
+	// Self and duplicates are filtered from the peer list.
+	n, err := New(Config{
+		Self:  "http://a:1",
+		Peers: []string{"http://a:1", "http://b:1", "http://b:1", ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if len(st.Members) != 2 {
+		t.Fatalf("members = %+v, want self + one peer", st.Members)
+	}
+}
+
+// fakeTransport routes requests by advertise URL to in-memory handlers
+// and lets tests fail specific peers.
+type fakeTransport struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler // advertise URL -> handler
+	down     map[string]bool
+}
+
+func (ft *fakeTransport) set(url string, h http.Handler) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ft.handlers == nil {
+		ft.handlers = make(map[string]http.Handler)
+		ft.down = make(map[string]bool)
+	}
+	ft.handlers[url] = h
+}
+
+func (ft *fakeTransport) setDown(url string, down bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.down[url] = down
+}
+
+func (ft *fakeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := req.URL.Scheme + "://" + req.URL.Host
+	ft.mu.Lock()
+	h, ok := ft.handlers[base]
+	down := ft.down[base]
+	ft.mu.Unlock()
+	if !ok || down {
+		return nil, fmt.Errorf("fakeTransport: %s unreachable", base)
+	}
+	rec := &responseRecorder{header: make(http.Header)}
+	h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode: rec.code,
+		Header:     rec.header,
+		Body:       io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// responseRecorder is a minimal http.ResponseWriter for fakeTransport.
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+func (r *responseRecorder) WriteHeader(c int)   { r.code = c }
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+// heartbeatHandler answers heartbeat GETs as the given identity.
+func heartbeatHandler(from string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(HeartbeatMessage{From: from, UptimeSeconds: 1})
+	})
+}
+
+func TestMembershipTransitions(t *testing.T) {
+	ft := &fakeTransport{}
+	ft.set("http://b:1", heartbeatHandler("http://b:1"))
+	n, err := New(Config{
+		Self:         "http://a:1",
+		Peers:        []string{"http://b:1"},
+		SuspectAfter: 1,
+		DeadAfter:    3,
+		Client:       &http.Client{Transport: ft},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	stateOf := func(url string) string {
+		for _, m := range n.Stats().Members {
+			if m.URL == url {
+				return m.State
+			}
+		}
+		return "missing"
+	}
+
+	n.ProbeOnce(ctx)
+	if got := stateOf("http://b:1"); got != "alive" {
+		t.Fatalf("after healthy probe: state %s, want alive", got)
+	}
+
+	ft.setDown("http://b:1", true)
+	n.ProbeOnce(ctx)
+	if got := stateOf("http://b:1"); got != "suspect" {
+		t.Fatalf("after 1 failure: state %s, want suspect", got)
+	}
+	if n.Rebalances() != 0 {
+		t.Fatalf("suspect transition rebuilt the ring (%d rebalances)", n.Rebalances())
+	}
+	n.ProbeOnce(ctx)
+	n.ProbeOnce(ctx)
+	if got := stateOf("http://b:1"); got != "dead" {
+		t.Fatalf("after 3 failures: state %s, want dead", got)
+	}
+	if n.Rebalances() != 1 {
+		t.Fatalf("dead transition: %d rebalances, want 1", n.Rebalances())
+	}
+	// A dead peer owns nothing: every fingerprint is self-owned now.
+	for i := 0; i < 100; i++ {
+		if owner, self := n.Owner(uint64(i) * 0x9e3779b97f4a7c15); !self {
+			t.Fatalf("dead-peer ring still routes to %s", owner)
+		}
+	}
+
+	// Recovery: one healthy probe resurrects the peer and rebalances back.
+	ft.setDown("http://b:1", false)
+	n.ProbeOnce(ctx)
+	if got := stateOf("http://b:1"); got != "alive" {
+		t.Fatalf("after recovery: state %s, want alive", got)
+	}
+	if n.Rebalances() != 2 {
+		t.Fatalf("recovery: %d rebalances, want 2", n.Rebalances())
+	}
+}
+
+func TestProbeRejectsIdentityMismatch(t *testing.T) {
+	ft := &fakeTransport{}
+	// The server at b:1 claims to be someone else — a misconfigured peer
+	// list must read as unhealthy, not silently join the ring.
+	ft.set("http://b:1", heartbeatHandler("http://evil:1"))
+	n, err := New(Config{
+		Self:         "http://a:1",
+		Peers:        []string{"http://b:1"},
+		SuspectAfter: 1,
+		DeadAfter:    1,
+		Client:       &http.Client{Transport: ft},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ProbeOnce(context.Background())
+	if got := n.Stats().Members[1].State; got != "dead" {
+		t.Fatalf("identity mismatch: state %s, want dead", got)
+	}
+}
+
+func TestForwardTargetSemantics(t *testing.T) {
+	ft := &fakeTransport{}
+	ft.set("http://b:1", heartbeatHandler("http://b:1"))
+	n, err := New(Config{
+		Self:         "http://a:1",
+		Peers:        []string{"http://b:1"},
+		SuspectAfter: 1,
+		DeadAfter:    3,
+		Client:       &http.Client{Transport: ft},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find one fingerprint owned by each member.
+	var selfFP, peerFP uint64
+	foundSelf, foundPeer := false, false
+	for i := uint64(0); i < 10000 && (!foundSelf || !foundPeer); i++ {
+		fp := i * 0x9e3779b97f4a7c15
+		if _, self := n.Owner(fp); self {
+			selfFP, foundSelf = fp, true
+		} else {
+			peerFP, foundPeer = fp, true
+		}
+	}
+	if !foundSelf || !foundPeer {
+		t.Fatal("could not find fingerprints for both members")
+	}
+
+	if _, ok := n.ForwardTarget(selfFP); ok {
+		t.Fatal("self-owned fingerprint wants forwarding")
+	}
+	if target, ok := n.ForwardTarget(peerFP); !ok || target != "http://b:1" {
+		t.Fatalf("peer-owned fingerprint: target %q ok=%v, want http://b:1 true", target, ok)
+	}
+
+	// A suspect owner is not a forward target (local fallback) but still
+	// owns its range — no rebalance.
+	ft.setDown("http://b:1", true)
+	n.ProbeOnce(context.Background())
+	if owner, self := n.Owner(peerFP); self || owner != "http://b:1" {
+		t.Fatalf("suspect peer lost ownership: owner %q self=%v", owner, self)
+	}
+	if _, ok := n.ForwardTarget(peerFP); ok {
+		t.Fatal("suspect owner is still a forward target")
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	entries := []HotEntry{
+		{Class: "interactive", Graph: testGraph(1), Stages: 4, Score: 3.5},
+		{Class: "batch", Graph: testGraph(2), Stages: 2, Score: 1.25},
+		{Graph: nil, Stages: 4, Score: 9}, // skipped: no graph
+	}
+	var buf bytes.Buffer
+	if err := EncodeGossip(&buf, "http://a:1", entries); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := DecodeGossip(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != "http://a:1" {
+		t.Fatalf("from = %q", msg.From)
+	}
+	if len(msg.Entries) != 2 {
+		t.Fatalf("decoded %d entries, want 2", len(msg.Entries))
+	}
+	for i, e := range msg.Entries {
+		if e.Graph.Fingerprint() != entries[i].Graph.Fingerprint() {
+			t.Errorf("entry %d: fingerprint changed across the wire", i)
+		}
+		if e.Class != entries[i].Class || e.Stages != entries[i].Stages || e.Score != entries[i].Score {
+			t.Errorf("entry %d: %+v does not match input", i, e)
+		}
+	}
+}
+
+func TestDecodeGossipValidation(t *testing.T) {
+	g := testGraph(3)
+	var gbuf bytes.Buffer
+	if err := g.WriteJSON(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	graphJSON := gbuf.String()
+
+	structural := []string{
+		`not json`,
+		`{"entries":[]}`,                    // missing from
+		`{"from":"ftp://x:1","entries":[]}`, // bad from URL
+		`{"from":"http://a:1","entries":` + bigEntriesJSON(graphJSON, maxGossipEntries+1) + `}`,
+	}
+	for _, raw := range structural {
+		if _, err := DecodeGossip(strings.NewReader(raw), 64); err == nil {
+			t.Errorf("DecodeGossip accepted %.60q", raw)
+		}
+	}
+
+	// Per-entry problems drop the entry, not the message.
+	dropped := []string{
+		`{"stages":0,"score":1,"graph":` + graphJSON + `}`,  // stages < 1
+		`{"stages":65,"score":1,"graph":` + graphJSON + `}`, // stages > max
+		`{"stages":4,"score":-1,"graph":` + graphJSON + `}`, // score <= 0
+		`{"stages":4,"score":1,"graph":{"bad":true}}`,       // unparseable graph
+	}
+	raw := `{"from":"http://a:1","entries":[` +
+		strings.Join(dropped, ",") +
+		`,{"stages":4,"score":2,"graph":` + graphJSON + `}]}`
+	msg, err := DecodeGossip(strings.NewReader(raw), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Entries) != 1 {
+		t.Fatalf("kept %d entries, want 1 (invalid entries must drop individually)", len(msg.Entries))
+	}
+
+	// Absurd scores clamp instead of poisoning downstream trackers.
+	raw = `{"from":"http://a:1","entries":[{"stages":4,"score":1e300,"graph":` + graphJSON + `}]}`
+	msg, err = DecodeGossip(strings.NewReader(raw), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Entries) != 1 || msg.Entries[0].Score != maxGossipScore {
+		t.Fatalf("score not clamped: %+v", msg.Entries)
+	}
+}
+
+// bigEntriesJSON builds a JSON array of n minimal entries.
+func bigEntriesJSON(graphJSON string, n int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"stages":4,"score":1,"graph":` + graphJSON + `}`)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// chanSink records merges for gossip tests.
+type chanSink struct {
+	mu     sync.Mutex
+	merged []HotEntry
+	froms  []string
+}
+
+func (cs *chanSink) MergeRemote(from string, entries []HotEntry) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.froms = append(cs.froms, from)
+	cs.merged = append(cs.merged, entries...)
+	return len(entries)
+}
+
+// sliceSource serves a fixed hot set.
+type sliceSource struct{ entries []HotEntry }
+
+func (ss sliceSource) HotEntries(max int) []HotEntry {
+	if len(ss.entries) > max {
+		return ss.entries[:max]
+	}
+	return ss.entries
+}
+
+func TestGossipOnceDeliversToAlivePeersOnly(t *testing.T) {
+	ft := &fakeTransport{}
+	sinkB := &chanSink{}
+	nodeB, err := New(Config{Self: "http://b:1", Sink: sinkB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mount := func(node *Node) http.Handler {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(node.Heartbeat())
+		})
+		mux.HandleFunc("/v1/cluster/gossip", func(w http.ResponseWriter, r *http.Request) {
+			msg, err := DecodeGossip(r.Body, 64)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			node.ReceiveGossip(msg)
+			w.WriteHeader(http.StatusOK)
+		})
+		return mux
+	}
+	ft.set("http://b:1", mount(nodeB))
+	// c is configured but down the whole time.
+
+	hot := []HotEntry{{Class: "interactive", Graph: testGraph(9), Stages: 4, Score: 5}}
+	nodeA, err := New(Config{
+		Self:         "http://a:1",
+		Peers:        []string{"http://b:1", "http://c:1"},
+		SuspectAfter: 1,
+		DeadAfter:    1,
+		Client:       &http.Client{Transport: ft},
+		Source:       sliceSource{entries: hot},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n := nodeA.GossipOnce(ctx) // both presumed alive; c's send fails
+	if n != 1 {
+		t.Fatalf("first gossip: %d successful sends, want 1", n)
+	}
+	st := nodeA.Stats()
+	if st.GossipSent != 1 || st.GossipSendErrors != 1 {
+		t.Fatalf("gossip counters sent=%d errors=%d, want 1/1", st.GossipSent, st.GossipSendErrors)
+	}
+
+	nodeA.ProbeOnce(ctx) // c goes dead
+	if n := nodeA.GossipOnce(ctx); n != 1 {
+		t.Fatalf("second gossip: %d sends, want 1 (only b is alive)", n)
+	}
+	if st := nodeA.Stats(); st.GossipSendErrors != 1 {
+		t.Fatalf("dead peer still gossiped to: errors=%d", st.GossipSendErrors)
+	}
+
+	sinkB.mu.Lock()
+	defer sinkB.mu.Unlock()
+	if len(sinkB.merged) != 2 || sinkB.froms[0] != "http://a:1" {
+		t.Fatalf("sink saw merged=%d froms=%v", len(sinkB.merged), sinkB.froms)
+	}
+	if got := nodeB.Stats(); got.GossipReceived != 2 || got.GossipMergedKeys != 2 {
+		t.Fatalf("receiver counters: %+v", got)
+	}
+}
+
+func TestHeartbeatMessage(t *testing.T) {
+	n, err := New(Config{
+		Self:  "http://a:1",
+		Peers: []string{"http://b:1"},
+		Now:   func() time.Time { return time.Unix(100, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := n.Heartbeat()
+	if hb.From != "http://a:1" || hb.Peers["http://b:1"] != "alive" {
+		t.Fatalf("heartbeat %+v", hb)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(hb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeHeartbeat(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.From != hb.From {
+		t.Fatalf("round trip changed from: %q", back.From)
+	}
+
+	for _, raw := range []string{`x`, `{}`, `{"from":"nope"}`} {
+		if _, err := DecodeHeartbeat(strings.NewReader(raw)); err == nil {
+			t.Errorf("DecodeHeartbeat accepted %q", raw)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// maxWireBytes bounds any single heartbeat or gossip message read off the
+// network; peers are trusted but a misconfigured peer list can point at
+// arbitrary servers.
+const maxWireBytes = 4 << 20
+
+// maxHeartbeatPeers bounds the peer-state map accepted in a heartbeat.
+const maxHeartbeatPeers = 1024
+
+// HeartbeatMessage is the liveness payload served on the heartbeat
+// endpoint. From is the responder's advertise URL — a prober checks it
+// against the URL it dialed, so a peer list pointing at the wrong server
+// (or a replica advertising the wrong identity) reads as unhealthy
+// instead of silently joining the ring.
+type HeartbeatMessage struct {
+	// From is the responder's advertise URL.
+	From string `json:"from"`
+	// UptimeSeconds is how long the responder has been up.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Peers maps each of the responder's configured peers to the state it
+	// observes ("alive", "suspect", "dead") — operator-facing context.
+	Peers map[string]string `json:"peers,omitempty"`
+}
+
+// Heartbeat builds this node's heartbeat response.
+func (n *Node) Heartbeat() HeartbeatMessage {
+	hb := HeartbeatMessage{
+		From:          n.cfg.Self,
+		UptimeSeconds: n.cfg.Now().Sub(n.start).Seconds(),
+		Peers:         make(map[string]string),
+	}
+	n.mu.Lock()
+	for _, p := range n.peers {
+		hb.Peers[p.url] = p.state.String()
+	}
+	n.mu.Unlock()
+	return hb
+}
+
+// DecodeHeartbeat parses and validates a heartbeat message. It rejects
+// malformed JSON, a missing or undialable From, and oversized peer maps;
+// unknown peer-state strings are tolerated (version skew).
+func DecodeHeartbeat(r io.Reader) (*HeartbeatMessage, error) {
+	var hb HeartbeatMessage
+	dec := json.NewDecoder(io.LimitReader(r, maxWireBytes))
+	if err := dec.Decode(&hb); err != nil {
+		return nil, fmt.Errorf("cluster: heartbeat decode: %w", err)
+	}
+	if hb.From == "" {
+		return nil, errors.New("cluster: heartbeat missing from")
+	}
+	if err := checkURL(hb.From); err != nil {
+		return nil, fmt.Errorf("cluster: heartbeat from %q: %w", hb.From, err)
+	}
+	if len(hb.Peers) > maxHeartbeatPeers {
+		return nil, fmt.Errorf("cluster: heartbeat lists %d peers (max %d)", len(hb.Peers), maxHeartbeatPeers)
+	}
+	return &hb, nil
+}
+
+// ProbeOnce runs one heartbeat round: every peer is probed concurrently,
+// then states advance — success resets a peer to alive, a failure run of
+// SuspectAfter marks it suspect, DeadAfter marks it dead. The ring is
+// rebuilt only when a peer crosses the dead boundary in either direction,
+// and each rebuild counts one rebalance.
+func (n *Node) ProbeOnce(ctx context.Context) {
+	n.mu.Lock()
+	urls := make([]string, len(n.peers))
+	for i, p := range n.peers {
+		urls[i] = p.url
+	}
+	n.mu.Unlock()
+
+	ok := make([]bool, len(urls))
+	var wg sync.WaitGroup
+	for i := range urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok[i] = n.probe(ctx, urls[i])
+		}(i)
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	ringChanged := false
+	for i, p := range n.peers {
+		p.probes++
+		wasDead := p.state == StateDead
+		if ok[i] {
+			if p.state != StateAlive {
+				n.logf("cluster: peer %s %s -> alive", p.url, p.state)
+			}
+			p.fails = 0
+			p.state = StateAlive
+		} else {
+			p.failures++
+			p.fails++
+			next := p.state
+			switch {
+			case p.fails >= n.cfg.DeadAfter:
+				next = StateDead
+			case p.fails >= n.cfg.SuspectAfter:
+				next = StateSuspect
+			}
+			if next != p.state {
+				n.logf("cluster: peer %s %s -> %s (%d consecutive failures)", p.url, p.state, next, p.fails)
+				p.state = next
+			}
+		}
+		if (p.state == StateDead) != wasDead {
+			ringChanged = true
+		}
+	}
+	if ringChanged {
+		n.rebuildRingLocked()
+		n.rebalances.Add(1)
+	}
+	n.mu.Unlock()
+}
+
+// probe issues one heartbeat GET and reports whether the peer answered
+// healthily as the identity the peer list claims for it.
+func (n *Node) probe(ctx context.Context, peerURL string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL+n.cfg.HeartbeatPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxWireBytes))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	hb, err := DecodeHeartbeat(resp.Body)
+	if err != nil {
+		return false
+	}
+	return hb.From == peerURL
+}

@@ -210,6 +210,27 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadJSONRejectsMalformedEdges regression-tests decoder inputs that
+// must come back as errors, never reach the panicking AddEdge guards:
+// the serving layer feeds ReadJSON raw client bytes. The self-edge case
+// was found by fuzzing the /v1/batch decode path ("edges":[[]] decodes
+// as the edge (0,0)).
+func TestReadJSONRejectsMalformedEdges(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"self edge", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[[0,0]]}`},
+		{"empty edge pair", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[[]]}`},
+		{"edge out of range", `{"nodes":[{"name":"a"}],"edges":[[0,7]]}`},
+		{"negative endpoint", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[[-1,1]]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("ReadJSON accepted %s", tc.doc)
+			}
+		})
+	}
+}
+
 func TestQuickJSONRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomDAG(seed)

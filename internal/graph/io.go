@@ -74,6 +74,12 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if e[0] < 0 || e[0] >= len(g.nodes) || e[1] < 0 || e[1] >= len(g.nodes) {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", e[0], e[1])
 		}
+		// AddEdge panics on self edges — fine for programmatic
+		// construction, but decoded bytes come from clients and must
+		// fail as errors, never crash the process.
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self edge at node %d", e[0])
+		}
 		g.AddEdge(e[0], e[1])
 	}
 	if err := g.Build(); err != nil {

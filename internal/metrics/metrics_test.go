@@ -249,3 +249,63 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("negative q = %v, want 0", got)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the contract corners the feedback
+// loops rely on — the rt cost estimator calls Quantile with whatever its
+// configuration says: degenerate q values never panic and never return
+// garbage, a single-bucket histogram interpolates within its only bound,
+// and a histogram whose every observation overflowed the finite buckets
+// clamps to the largest finite bound at any q.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Every q on an empty histogram reports 0, including NaN and ±∞.
+	h := r.Histogram("edge_empty_seconds", "h", []float64{0.1, 1})
+	for _, q := range []float64{math.NaN(), math.Inf(-1), -0.5, 0, 0.5, 1, 2, math.Inf(1)} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// With data: q=0 and NaN still report 0 (no rank to find), while q>1
+	// clamps to q=1 rather than extrapolating past the distribution.
+	h.Observe(0.05)
+	h.Observe(0.05)
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+	p100 := h.Quantile(1)
+	if got := h.Quantile(2); got != p100 {
+		t.Fatalf("Quantile(2) = %v, want the q=1 clamp %v", got, p100)
+	}
+	if got := h.Quantile(math.Inf(1)); got != p100 {
+		t.Fatalf("Quantile(+Inf) = %v, want the q=1 clamp %v", got, p100)
+	}
+
+	// A single finite bucket interpolates linearly through (0, bound].
+	s := r.Histogram("edge_single_seconds", "h", []float64{1})
+	for i := 0; i < 4; i++ {
+		s.Observe(0.5)
+	}
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Fatalf("single-bucket p50 = %v, want 0.5", got)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Fatalf("single-bucket p100 = %v, want the bucket bound 1", got)
+	}
+
+	// All mass in the +Inf overflow bucket: the buckets have no
+	// resolution there, so every q clamps to the largest finite bound.
+	o := r.Histogram("edge_overflow_seconds", "h", []float64{0.1, 0.25})
+	for i := 0; i < 8; i++ {
+		o.Observe(100)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := o.Quantile(q); got != 0.25 {
+			t.Fatalf("overflow-only Quantile(%v) = %v, want clamp to 0.25", q, got)
+		}
+	}
+}

@@ -204,6 +204,10 @@ type Config struct {
 	// the dispatcher lock; keep it cheap — the serving layer records
 	// tardiness histograms here).
 	OnComplete func(res JobResult)
+	// Clock supplies releases, deadline checks and tardiness stamps
+	// (default: the wall clock). Tests inject a FakeClock to drive the
+	// dispatcher deterministically.
+	Clock Clock
 	// Logf, when set, receives dispatcher log lines.
 	Logf func(format string, args ...any)
 }
@@ -252,6 +256,9 @@ func New(cfg Config) (*Dispatcher, error) {
 	}
 	if cfg.Run == nil {
 		return nil, errors.New("rt: Config.Run is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock{}
 	}
 	d := &Dispatcher{
 		cfg:     cfg,
@@ -343,7 +350,7 @@ func (d *Dispatcher) Register(spec StreamSpec) (*Stream, error) {
 
 	d.streams[spec.Name] = cand
 	if d.running {
-		cand.next = time.Now()
+		cand.next = d.cfg.Clock.Now()
 		d.wakeReleaseLoop()
 	}
 	d.logf("rt: registered stream %q period=%v deadline=%v cost=%v (util %.3f, total %.3f)",
@@ -494,7 +501,7 @@ func (d *Dispatcher) Start(ctx context.Context) (stop func(), err error) {
 	}
 	d.running = true
 	d.stopped = false
-	now := time.Now()
+	now := d.cfg.Clock.Now()
 	for _, s := range d.streams {
 		s.next = now
 	}
@@ -544,14 +551,23 @@ func (d *Dispatcher) Start(ctx context.Context) (stop func(), err error) {
 // releaseLoop releases one job per stream per period, sleeping until the
 // earliest next release and waking early on register/remove.
 func (d *Dispatcher) releaseLoop(ctx context.Context) {
-	timer := time.NewTimer(time.Hour)
+	timer := d.cfg.Clock.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
 		var dropped []JobResult
 		d.mu.Lock()
-		now := time.Now()
-		var next time.Time
+		now := d.cfg.Clock.Now()
+		// Release in sorted-name order so coincident releases get
+		// deterministic sequence numbers: seq breaks every heap tie, so
+		// map iteration order must not leak into FIFO (or tied RM/EDF)
+		// dispatch order.
+		byName := make([]*Stream, 0, len(d.streams))
 		for _, s := range d.streams {
+			byName = append(byName, s)
+		}
+		sort.Slice(byName, func(i, j int) bool { return byName[i].Name < byName[j].Name })
+		var next time.Time
+		for _, s := range byName {
 			for !s.next.After(now) {
 				if res, drop := d.releaseLocked(s, s.next); drop {
 					dropped = append(dropped, res)
@@ -576,18 +592,12 @@ func (d *Dispatcher) releaseLoop(ctx context.Context) {
 				continue
 			}
 		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(time.Until(next))
+		timer.Reset(next.Sub(d.cfg.Clock.Now()))
 		select {
 		case <-ctx.Done():
 			return
 		case <-d.recalc:
-		case <-timer.C:
+		case <-timer.C():
 		}
 	}
 }
@@ -612,7 +622,7 @@ func (d *Dispatcher) releaseLocked(s *Stream, release time.Time) (droppedRes Job
 		old.cancelled = true
 		s.drops.Add(1)
 		s.misses.Add(1)
-		now := time.Now()
+		now := d.cfg.Clock.Now()
 		tard := now.Sub(old.Deadline)
 		if tard < 0 {
 			tard = 0
@@ -647,7 +657,7 @@ func (d *Dispatcher) worker(ctx context.Context) {
 		}
 		d.mu.Unlock()
 
-		if now := time.Now(); !now.Before(j.Deadline) {
+		if now := d.cfg.Clock.Now(); !now.Before(j.Deadline) {
 			// The job is already past its deadline: shed it instead of
 			// burning the worker on worthless output (a stale camera
 			// frame). Without this, EDF under overload dominoes — the
@@ -660,7 +670,7 @@ func (d *Dispatcher) worker(ctx context.Context) {
 		}
 
 		err := d.cfg.Run(ctx, j.Job)
-		finish := time.Now()
+		finish := d.cfg.Clock.Now()
 		tard := finish.Sub(j.Deadline)
 		missed := tard > 0
 		if tard < 0 {

@@ -5,25 +5,44 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
+	"runtime"
 	"testing"
 	"time"
 )
 
-// sleepRun returns a Run that sleeps for the stream's effective cost
-// (respecting cancellation), simulating an inference pipeline.
-func sleepRun() func(ctx context.Context, j Job) error {
-	return func(ctx context.Context, j Job) error {
-		t := time.NewTimer(j.Stream.Cost())
-		defer t.Stop()
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-t.C:
-			return nil
-		}
+// nopRun is a Run for tests that only exercise admission: it never
+// actually executes because those dispatchers are never started.
+func nopRun(ctx context.Context, j Job) error { return nil }
+
+// harness couples a dispatcher to a fake clock and a result channel so
+// tests drive releases deterministically: advance the clock, then block
+// on the next JobResult instead of sleeping.
+type harness struct {
+	clk     *FakeClock
+	results chan JobResult
+}
+
+func newHarness() *harness {
+	return &harness{
+		clk:     NewFakeClock(time.Unix(0, 0)),
+		results: make(chan JobResult, 1024),
 	}
+}
+
+// config returns a Config wired to the harness clock and result channel.
+func (h *harness) config(p Policy, run func(ctx context.Context, j Job) error) Config {
+	return Config{
+		Policy:     p,
+		Run:        run,
+		Clock:      h.clk,
+		OnComplete: func(res JobResult) { h.results <- res },
+	}
+}
+
+// next blocks for the next job result.
+func (h *harness) next(t *testing.T) JobResult {
+	t.Helper()
+	return <-h.results
 }
 
 func TestParsePolicy(t *testing.T) {
@@ -57,11 +76,10 @@ func TestLiuLaylandAndDefaultBound(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	run := sleepRun()
 	cases := []Config{
-		{Policy: "lifo", Run: run},
-		{UtilBound: -0.5, Run: run},
-		{Workers: -1, Run: run},
+		{Policy: "lifo", Run: nopRun},
+		{UtilBound: -0.5, Run: nopRun},
+		{Workers: -1, Run: nopRun},
 		{}, // no Run
 	}
 	for i, cfg := range cases {
@@ -69,7 +87,7 @@ func TestNewValidation(t *testing.T) {
 			t.Fatalf("case %d: New accepted invalid config %+v", i, cfg)
 		}
 	}
-	d, err := New(Config{Run: run})
+	d, err := New(Config{Run: nopRun})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -79,7 +97,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestRegisterValidation(t *testing.T) {
-	d, err := New(Config{Policy: EDF, Run: sleepRun()})
+	d, err := New(Config{Policy: EDF, Run: nopRun})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +129,13 @@ func TestSchedulabilityUtilizationBound(t *testing.T) {
 		{Name: "a", Period: 100 * time.Millisecond, Cost: 50 * time.Millisecond},
 		{Name: "b", Period: 200 * time.Millisecond, Cost: 100 * time.Millisecond},
 	}
-	edf, _ := New(Config{Policy: EDF, Run: sleepRun()})
+	edf, _ := New(Config{Policy: EDF, Run: nopRun})
 	for _, sp := range specs {
 		if _, err := edf.Register(sp); err != nil {
 			t.Fatalf("edf rejected %q: %v", sp.Name, err)
 		}
 	}
-	rm, _ := New(Config{Policy: RM, Run: sleepRun()})
+	rm, _ := New(Config{Policy: RM, Run: nopRun})
 	if _, err := rm.Register(specs[0]); err != nil {
 		t.Fatalf("rm rejected first stream: %v", err)
 	}
@@ -126,7 +144,7 @@ func TestSchedulabilityUtilizationBound(t *testing.T) {
 		t.Fatalf("rm admission of util-1.0 set: err = %v, want ErrNotSchedulable", err)
 	}
 	// The explicit-bound override admits the same set (and skips RTA).
-	over, _ := New(Config{Policy: RM, UtilBound: 1.5, Run: sleepRun()})
+	over, _ := New(Config{Policy: RM, UtilBound: 1.5, Run: nopRun})
 	for _, sp := range specs {
 		if _, err := over.Register(sp); err != nil {
 			t.Fatalf("override bound rejected %q: %v", sp.Name, err)
@@ -152,7 +170,7 @@ func TestSchedulabilityResponseTimeAnalysis(t *testing.T) {
 		policy Policy
 		admit  bool
 	}{{EDF, true}, {RM, false}, {FIFO, false}} {
-		d, _ := New(Config{Policy: tc.policy, Run: sleepRun()})
+		d, _ := New(Config{Policy: tc.policy, Run: nopRun})
 		var err error
 		for _, sp := range specs {
 			if _, err = d.Register(sp); err != nil {
@@ -172,7 +190,7 @@ func TestEstimateFeedsAdmission(t *testing.T) {
 	est := 5 * time.Millisecond
 	d, _ := New(Config{
 		Policy: EDF,
-		Run:    sleepRun(),
+		Run:    nopRun,
 		Estimate: func(s *Stream) time.Duration {
 			return est
 		},
@@ -200,14 +218,8 @@ func TestEstimateFeedsAdmission(t *testing.T) {
 }
 
 func TestDispatcherReleasesAndCompletes(t *testing.T) {
-	var done atomic.Uint64
-	d, _ := New(Config{
-		Policy: EDF,
-		Run: func(ctx context.Context, j Job) error {
-			done.Add(1)
-			return nil
-		},
-	})
+	h := newHarness()
+	d, _ := New(h.config(EDF, func(ctx context.Context, j Job) error { return nil }))
 	s, err := d.Register(StreamSpec{Name: "cam", Period: 30 * time.Millisecond, Cost: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
@@ -216,16 +228,24 @@ func TestDispatcherReleasesAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for done.Load() < 4 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+	// The first job releases at start; each clock advance of one period
+	// releases exactly one more. Awaiting the result before advancing
+	// keeps the schedule lock-step deterministic.
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			h.clk.Advance(30 * time.Millisecond)
+		}
+		res := h.next(t)
+		if res.Dropped || res.Missed || res.Err != nil {
+			t.Fatalf("job %d: unexpected result %+v", i, res)
+		}
 	}
 	stop()
-	if got := done.Load(); got < 4 {
-		t.Fatalf("completions = %d, want >= 4", got)
+	if got := s.Completions(); got != 4 {
+		t.Fatalf("completions = %d, want 4", got)
 	}
-	if s.Releases() < s.Completions() {
-		t.Fatalf("releases %d < completions %d", s.Releases(), s.Completions())
+	if got := s.Releases(); got != 4 {
+		t.Fatalf("releases = %d, want 4", got)
 	}
 	if s.Misses() != 0 {
 		t.Fatalf("misses = %d for a trivially schedulable stream", s.Misses())
@@ -240,28 +260,16 @@ func TestDispatcherReleasesAndCompletes(t *testing.T) {
 }
 
 func TestDeadlineMissAndSupersedeAccounting(t *testing.T) {
-	var mu sync.Mutex
-	var results []JobResult
-	d, _ := New(Config{
-		Policy: EDF,
-		// Overload deliberately; admission must be bypassed via bound.
-		UtilBound: 10,
-		Run: func(ctx context.Context, j Job) error {
-			t := time.NewTimer(45 * time.Millisecond) // >> deadline
-			defer t.Stop()
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-t.C:
-				return nil
-			}
-		},
-		OnComplete: func(res JobResult) {
-			mu.Lock()
-			results = append(results, res)
-			mu.Unlock()
-		},
+	h := newHarness()
+	cfg := h.config(EDF, func(ctx context.Context, j Job) error {
+		// Each execution burns 45ms of virtual time — far past the 15ms
+		// deadline and the 25ms release period.
+		h.clk.Advance(45 * time.Millisecond)
+		return nil
 	})
+	// Overload deliberately; admission must be bypassed via bound.
+	cfg.UtilBound = 10
+	d, _ := New(cfg)
 	s, err := d.Register(StreamSpec{Name: "slow", Period: 25 * time.Millisecond,
 		Deadline: 15 * time.Millisecond, Cost: 10 * time.Millisecond})
 	if err != nil {
@@ -271,42 +279,41 @@ func TestDeadlineMissAndSupersedeAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if s.Misses() >= 3 && s.Drops() >= 1 && s.Completions() >= 1 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	// t=0: job 1 releases and starts; running it advances the clock to
+	// t=45, past both its own deadline (15) and the t=25 release of
+	// job 2 (deadline 40), which the worker must then shed unrun.
+	first := h.next(t)
+	if !first.Missed || first.Dropped || first.Tardiness != 30*time.Millisecond {
+		t.Fatalf("job 1: %+v, want missed with 30ms tardiness", first)
+	}
+	second := h.next(t)
+	if !second.Dropped || !second.Missed {
+		t.Fatalf("job 2: %+v, want shed (dropped and missed)", second)
+	}
+	// t=65: job 3 (released t=50, deadline 65) is exactly at its
+	// deadline when the worker sees it — shed as well.
+	h.clk.Advance(20 * time.Millisecond)
+	third := h.next(t)
+	if !third.Dropped || !third.Missed {
+		t.Fatalf("job 3: %+v, want shed (dropped and missed)", third)
 	}
 	stop()
-	if s.Misses() < 3 || s.Drops() < 1 || s.Completions() < 1 {
-		t.Fatalf("misses=%d drops=%d completions=%d; want >=3, >=1, >=1",
+	if s.Misses() != 3 || s.Drops() != 2 || s.Completions() != 1 {
+		t.Fatalf("misses=%d drops=%d completions=%d; want 3, 2, 1",
 			s.Misses(), s.Drops(), s.Completions())
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	var missed, tardy int
-	for _, r := range results {
-		if r.Missed {
-			missed++
-		}
-		if r.Tardiness > 0 {
-			tardy++
-		}
-	}
-	if missed == 0 || tardy == 0 {
-		t.Fatalf("OnComplete saw %d missed / %d tardy results out of %d", missed, tardy, len(results))
-	}
-	// Every release is accounted for: completed, dropped, or still queued
-	// (at most one pending job per stream at shutdown).
-	if s.Releases() > s.Completions()+s.Drops()+1 {
+	// Every release is accounted for: completed or dropped.
+	if s.Releases() != s.Completions()+s.Drops() {
 		t.Fatalf("unaccounted releases: releases=%d completions=%d drops=%d",
 			s.Releases(), s.Completions(), s.Drops())
 	}
 }
 
 func TestRemoveCancelsPending(t *testing.T) {
-	d, _ := New(Config{Policy: FIFO, UtilBound: 10, Run: sleepRun()})
+	h := newHarness()
+	cfg := h.config(FIFO, func(ctx context.Context, j Job) error { return nil })
+	cfg.UtilBound = 10
+	d, _ := New(cfg)
 	if _, err := d.Register(StreamSpec{Name: "a", Period: 20 * time.Millisecond, Cost: time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +322,10 @@ func TestRemoveCancelsPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stop()
-	time.Sleep(30 * time.Millisecond)
+	// Await the initial release's completion so Remove races nothing.
+	if res := h.next(t); res.Err != nil {
+		t.Fatalf("first job failed: %v", res.Err)
+	}
 	if !d.Remove("a") {
 		t.Fatal("Remove returned false for a registered stream")
 	}
@@ -328,12 +338,8 @@ func TestRemoveCancelsPending(t *testing.T) {
 }
 
 func TestShutdownLeavesNoOrphanedReleases(t *testing.T) {
-	var completions atomic.Uint64
-	d, _ := New(Config{
-		Policy:     RM,
-		Run:        sleepRun(),
-		OnComplete: func(JobResult) { completions.Add(1) },
-	})
+	h := newHarness()
+	d, _ := New(h.config(RM, func(ctx context.Context, j Job) error { return nil }))
 	for i := 0; i < 3; i++ {
 		spec := StreamSpec{Name: fmt.Sprintf("s%d", i),
 			Period: time.Duration(20+10*i) * time.Millisecond, Cost: time.Millisecond}
@@ -348,50 +354,57 @@ func TestShutdownLeavesNoOrphanedReleases(t *testing.T) {
 	if _, err := d.Start(context.Background()); err == nil {
 		t.Fatal("second Start while running should fail")
 	}
-	time.Sleep(60 * time.Millisecond)
+	// Each stream releases once at start; no clock advance means no
+	// further releases, so exactly three results flow.
+	for i := 0; i < 3; i++ {
+		h.next(t)
+	}
 	stop()
 	stop() // idempotent
-	// After stop returns every goroutine has exited: no further releases
-	// or completions may surface.
-	before := completions.Load()
+	// After stop returns every goroutine has exited: even a full second
+	// of virtual time (dozens of periods) must release nothing.
 	relBefore := d.Stats().Releases
-	time.Sleep(80 * time.Millisecond)
-	if after := completions.Load(); after != before {
-		t.Fatalf("completions kept flowing after stop: %d -> %d", before, after)
+	if relBefore != 3 {
+		t.Fatalf("releases before shutdown = %d, want 3", relBefore)
+	}
+	h.clk.Advance(time.Second)
+	select {
+	case res := <-h.results:
+		t.Fatalf("completion flowed after stop: %+v", res)
+	default:
 	}
 	if relAfter := d.Stats().Releases; relAfter != relBefore {
 		t.Fatalf("releases kept flowing after stop: %d -> %d", relBefore, relAfter)
 	}
-	// The dispatcher restarts cleanly.
+	// The dispatcher restarts cleanly and releases the set again.
 	stop2, err := d.Start(context.Background())
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		h.next(t)
+	}
 	stop2()
-	if d.Stats().Releases <= relBefore {
-		t.Fatal("restarted dispatcher released nothing")
+	if got := d.Stats().Releases; got != relBefore+3 {
+		t.Fatalf("releases after restart = %d, want %d", got, relBefore+3)
 	}
 }
 
 // TestMissRateOrderingUnderOverload replays the same deadline-constrained
-// camera-style workload under each queue discipline and asserts the
-// expected ordering: EDF misses least, RM more, FIFO most. Each policy's
-// losses are structural, not noise. The heavy "bulk" job blocks everyone
-// equally while running (execution is non-preemptive), but only FIFO
-// also serves it ahead of younger urgent jobs — the classic priority
-// inversion — costing extra "cam" misses; RM additionally starves the
-// long-period tight-deadline "lidar" stream behind the cam/aux queue,
-// where EDF jumps it ahead. The set runs ~7% under capacity so the
-// ordering reflects discipline rather than saturation collapse, yet it
-// exceeds every default admission bound — registration needs the
-// explicit override, which is the overload the acceptance criterion
-// exercises. Parameters were tuned by replaying candidates against this
-// dispatcher until the ordering held with stable margins across trials.
+// camera-style workload under each queue discipline on a fake clock — a
+// deterministic discrete-event simulation where running a job advances
+// virtual time by its cost — and asserts the expected ordering: EDF
+// misses least, RM more, FIFO most. Each policy's losses are structural,
+// not noise. The heavy "bulk" job blocks everyone equally while running
+// (execution is non-preemptive), but only FIFO also serves it ahead of
+// younger urgent jobs — the classic priority inversion — costing extra
+// "cam" misses; RM additionally starves the long-period tight-deadline
+// "lidar" stream behind the cam/aux queue, where EDF jumps it ahead.
+// The set runs ~7% under capacity so the ordering reflects discipline
+// rather than saturation collapse, yet it exceeds every default
+// admission bound — registration needs the explicit override, which is
+// the overload the acceptance criterion exercises.
 func TestMissRateOrderingUnderOverload(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-second replay; skipped in -short")
-	}
 	specs := []StreamSpec{
 		{Name: "cam", Period: 60 * time.Millisecond, Cost: 20 * time.Millisecond},
 		{Name: "aux", Period: 150 * time.Millisecond, Cost: 30 * time.Millisecond},
@@ -399,7 +412,31 @@ func TestMissRateOrderingUnderOverload(t *testing.T) {
 		{Name: "bulk", Period: 400 * time.Millisecond, Cost: 120 * time.Millisecond},
 	}
 	replay := func(p Policy) uint64 {
-		d, err := New(Config{Policy: p, UtilBound: 1.2, Run: sleepRun()})
+		h := newHarness()
+		// The worker hands each job to the driver and blocks until the
+		// driver has advanced virtual time by its cost: the clock only
+		// moves while every dispatcher goroutine is parked, which makes
+		// the whole replay a deterministic simulation.
+		started := make(chan Job, 1) // one worker: at most one in flight
+		finish := make(chan struct{})
+		cfg := h.config(p, func(ctx context.Context, j Job) error {
+			// Both channel operations yield to cancellation: at stop the
+			// driver is gone, and an unconsumed handoff must not wedge
+			// the worker (and with it the dispatcher's shutdown).
+			select {
+			case started <- j:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-finish:
+				return nil
+			}
+		})
+		cfg.UtilBound = 1.2
+		d, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -408,11 +445,57 @@ func TestMissRateOrderingUnderOverload(t *testing.T) {
 				t.Fatalf("%s: register %q: %v", p, sp.Name, err)
 			}
 		}
+		start := h.clk.Now()
+		// Mirror the dispatcher's release schedule (stream i releases at
+		// start + k*period) so every clock movement can wait until the
+		// release loop has caught up to exactly the expected count.
+		nextRel := make([]time.Time, len(specs))
+		for i := range nextRel {
+			nextRel[i] = start
+		}
+		var rel, seen uint64
+		settle := func(now time.Time) {
+			for i, sp := range specs {
+				for !nextRel[i].After(now) {
+					rel++
+					nextRel[i] = nextRel[i].Add(sp.Period)
+				}
+			}
+			for d.Stats().Releases < rel {
+				runtime.Gosched()
+			}
+		}
 		stop, err := d.Start(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(2400 * time.Millisecond)
+		settle(start) // the initial release of every stream
+		end := start.Add(2400 * time.Millisecond)
+		for h.clk.Now().Before(end) {
+			if rel > seen {
+				// A released job has not resulted yet: it is queued (the
+				// worker will shed or start it) or in flight. Either a
+				// result or a start arrives without moving the clock.
+				select {
+				case <-h.results:
+					seen++
+				case j := <-started:
+					h.clk.Advance(j.Stream.Cost())
+					settle(h.clk.Now())
+					finish <- struct{}{}
+				}
+			} else {
+				// Quiescent: jump exactly to the earliest next release.
+				next := nextRel[0]
+				for _, v := range nextRel[1:] {
+					if v.Before(next) {
+						next = v
+					}
+				}
+				h.clk.Advance(next.Sub(h.clk.Now()))
+				settle(next)
+			}
+		}
 		stop()
 		st := d.Stats()
 		t.Logf("%-4s: releases=%d completions=%d misses=%d drops=%d", p, st.Releases, st.Completions, st.Misses, st.Drops)

@@ -29,6 +29,11 @@ type admission struct {
 	admitted         atomic.Uint64
 	rejectedCapacity atomic.Uint64
 	rejectedTimeout  atomic.Uint64
+
+	// queuedHook, when set, runs on the waiter's goroutine right after
+	// it takes a queue token. Tests use it to observe the parked state
+	// without polling; production leaves it nil.
+	queuedHook func()
 }
 
 func newAdmission(maxConcurrent, maxQueue int) *admission {
@@ -64,6 +69,9 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		return nil, errOverCapacity
 	}
 	defer func() { a.queue <- struct{}{} }()
+	if a.queuedHook != nil {
+		a.queuedHook()
+	}
 	select {
 	case <-a.sem:
 		a.admitted.Add(1)

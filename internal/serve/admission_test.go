@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -53,6 +54,9 @@ func TestAdmissionQueueFullRejectsImmediately(t *testing.T) {
 
 func TestAdmissionQueueWaitAndHandoff(t *testing.T) {
 	a := newAdmission(1, 1)
+	queued := make(chan struct{})
+	var once sync.Once
+	a.queuedHook = func() { once.Do(func() { close(queued) }) }
 	release, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -66,13 +70,7 @@ func TestAdmissionQueueWaitAndHandoff(t *testing.T) {
 		got <- err
 	}()
 	// The waiter parks in the queue, then acquires once the slot frees.
-	deadline := time.Now().Add(5 * time.Second)
-	for a.queued() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("waiter never queued")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	<-queued
 	release()
 	if err := <-got; err != nil {
 		t.Fatalf("queued acquire = %v, want success after release", err)
@@ -126,7 +124,7 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 			}
 			mu.Unlock()
 			if err == nil {
-				time.Sleep(time.Millisecond)
+				runtime.Gosched() // hold the slot across a scheduling point
 				release()
 			}
 		}()

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"respect/internal/cluster"
+	"respect/internal/graph"
+	"respect/internal/solver"
+)
+
+// ClusterConfig turns one server into a fleet replica: the graph
+// fingerprint space is consistent-hash sharded across the peer set, each
+// request is proxied to its home shard (with a local-solve fallback when
+// the owner is unhealthy), and the speculation popularity counters are
+// gossiped so the fleet warms a hot instance once, not once per replica.
+// Clustering is enabled when Peers is non-empty.
+type ClusterConfig struct {
+	// Advertise is this replica's URL as its peers can reach it
+	// (scheme://host:port). Required when Peers is set.
+	Advertise string
+	// Peers lists every replica's advertise URL; the list may include
+	// Advertise (it is filtered out). Non-empty enables clustering.
+	Peers []string
+	// ProbeInterval paces the membership heartbeat loop (default 500ms).
+	ProbeInterval time.Duration
+	// GossipInterval paces the popularity gossip loop (default 2s).
+	GossipInterval time.Duration
+	// GossipTopK bounds hot entries pushed per gossip round (default 16).
+	GossipTopK int
+	// SuspectAfter / DeadAfter are the consecutive probe-failure counts
+	// after which a peer is suspect (still an owner, not forwarded to)
+	// and dead (leaves the ring). Defaults 1 and 3.
+	SuspectAfter int
+	DeadAfter    int
+	// VirtualNodes is the consistent-hash ring points per member
+	// (default 64).
+	VirtualNodes int
+	// DisableGossip keeps sharding and forwarding but turns off the
+	// popularity gossip exchange.
+	DisableGossip bool
+	// Client overrides the HTTP client used for probing, forwarding and
+	// gossip; tests inject partition-aware transports here. The default
+	// client has a 2s timeout for probes/gossip (forwards run under the
+	// request's own context deadline).
+	Client *http.Client
+}
+
+// Forwarding headers. A proxied request carries ForwardedFromHeader so
+// the owner never re-forwards (loop prevention even while membership
+// views disagree); a relayed response carries ForwardedToHeader naming
+// the shard that actually solved.
+const (
+	// ForwardedFromHeader marks a peer-forwarded request with the
+	// sender's advertise URL.
+	ForwardedFromHeader = "X-Respect-Forwarded-From"
+	// ForwardedToHeader marks a relayed response with the owner that
+	// served it.
+	ForwardedToHeader = "X-Respect-Forwarded-To"
+)
+
+// outcomeForwarded is the request-duration outcome label for requests
+// relayed to their home shard; "ok" keeps meaning locally solved.
+const outcomeForwarded = "forwarded"
+
+// clusterState is the server's fleet runtime: the membership node plus
+// the forwarding counters backing both /v1/stats and /metrics.
+type clusterState struct {
+	node   *cluster.Node
+	client *http.Client
+
+	relayed        atomic.Uint64 // requests proxied to their home shard
+	forwardErrors  atomic.Uint64 // proxy attempts that fell back to a local solve
+	localUnhealthy atomic.Uint64 // owner suspect/dead at entry: solved locally
+}
+
+// fleetGossip adapts the per-class speculators to the cluster gossip
+// source/sink interfaces, carrying the class name across the wire.
+type fleetGossip struct{ s *Server }
+
+// HotEntries implements cluster.GossipSource: the fleet-wide hot set is
+// the union of every warm class's actionable hot entries, hottest first.
+func (f fleetGossip) HotEntries(max int) []cluster.HotEntry {
+	var out []cluster.HotEntry
+	for class, st := range f.s.classes {
+		if st.spec == nil {
+			continue
+		}
+		for _, e := range st.spec.HotEntries(max) {
+			out = append(out, cluster.HotEntry{
+				Class:  string(class),
+				Graph:  e.Graph,
+				Stages: e.Key.Stages,
+				Score:  e.Score,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Class < out[j].Class
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// MergeRemote implements cluster.GossipSink: entries fold into the named
+// class's speculator (unknown or non-speculating classes are skipped —
+// fleet members may run different class tables).
+func (f fleetGossip) MergeRemote(from string, entries []cluster.HotEntry) int {
+	merged := 0
+	for _, e := range entries {
+		st, ok := f.s.classes[Class(e.Class)]
+		if !ok || st.spec == nil {
+			continue
+		}
+		if st.spec.MergeRemote(e.Graph, e.Stages, e.Score) {
+			merged++
+		}
+	}
+	return merged
+}
+
+// initCluster builds the membership node and registers the cluster metric
+// families. Called by New after initSpeculation (the gossip adapter needs
+// the speculators wired); a no-op when Peers is empty.
+func (s *Server) initCluster() error {
+	cc := s.cfg.Cluster
+	if len(cc.Peers) == 0 {
+		if cc.Advertise != "" {
+			return errors.New("serve: Cluster.Advertise set without Cluster.Peers")
+		}
+		return nil
+	}
+	if cc.Advertise == "" {
+		return errors.New("serve: Cluster.Peers set without Cluster.Advertise")
+	}
+	var source cluster.GossipSource
+	var sink cluster.GossipSink
+	if !cc.DisableGossip && len(s.speculators) > 0 {
+		source = fleetGossip{s}
+		sink = fleetGossip{s}
+	}
+	node, err := cluster.New(cluster.Config{
+		Self:           cc.Advertise,
+		Peers:          cc.Peers,
+		VirtualNodes:   cc.VirtualNodes,
+		SuspectAfter:   cc.SuspectAfter,
+		DeadAfter:      cc.DeadAfter,
+		ProbeInterval:  cc.ProbeInterval,
+		GossipInterval: cc.GossipInterval,
+		GossipTopK:     cc.GossipTopK,
+		MaxStages:      maxStages,
+		Client:         cc.Client,
+		Source:         source,
+		Sink:           sink,
+		Logf:           s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	client := cc.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	s.cluster = &clusterState{node: node, client: client}
+
+	forwards := s.reg.CounterVec("respect_cluster_forwards_total",
+		"Cross-shard request routing by result: relayed (proxied to the home shard), error_fallback (proxy failed, solved locally), local_unhealthy (owner suspect or dead, solved locally).",
+		"result")
+	forwards.Func(func() float64 { return float64(s.cluster.relayed.Load()) }, "relayed")
+	forwards.Func(func() float64 { return float64(s.cluster.forwardErrors.Load()) }, "error_fallback")
+	forwards.Func(func() float64 { return float64(s.cluster.localUnhealthy.Load()) }, "local_unhealthy")
+	peerState := s.reg.GaugeVec("respect_cluster_peer_state",
+		"Observed peer membership state: 0 alive, 1 suspect, 2 dead.", "peer")
+	for _, url := range node.Peers() {
+		url := url
+		peerState.Func(func() float64 {
+			st, _ := node.PeerState(url)
+			return float64(st)
+		}, url)
+	}
+	s.reg.CounterFunc("respect_cluster_rebalances_total",
+		"Consistent-hash ring rebuilds caused by membership transitions.",
+		func() float64 { return float64(node.Rebalances()) })
+	s.reg.CounterFunc("respect_cluster_gossip_sent_total",
+		"Successful outbound popularity-gossip pushes.",
+		func() float64 { return float64(node.GossipSentCount()) })
+	s.reg.CounterFunc("respect_cluster_gossip_send_errors_total",
+		"Failed outbound popularity-gossip pushes.",
+		func() float64 { return float64(node.GossipSendErrorCount()) })
+	s.reg.CounterFunc("respect_cluster_gossip_received_total",
+		"Inbound popularity-gossip messages accepted.",
+		func() float64 { return float64(node.GossipReceivedCount()) })
+	s.reg.CounterFunc("respect_cluster_gossip_merged_keys_total",
+		"Hot keys folded into local popularity tracking from gossip.",
+		func() float64 { return float64(node.GossipMergedCount()) })
+	return nil
+}
+
+// Cluster returns the fleet membership node, or nil when clustering is
+// disabled. The chaos harness drives ProbeOnce/GossipOnce through it.
+func (s *Server) Cluster() *cluster.Node {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.node
+}
+
+// SpeculateOnce runs one synchronous speculation pass on every class
+// speculator and returns the total entries warmed. It is the
+// deterministic counterpart of the background loops, used by tests and
+// operators to force a pass (e.g. right after a gossip merge).
+func (s *Server) SpeculateOnce(ctx context.Context) int {
+	total := 0
+	for _, sp := range s.speculators {
+		total += sp.RunOnce(ctx)
+	}
+	return total
+}
+
+// ClusterStats is the fleet block of /v1/stats and GET /v1/cluster:
+// membership and gossip counters from the node plus the serving layer's
+// forwarding counters.
+type ClusterStats struct {
+	cluster.Stats
+	// ForwardsRelayed counts requests proxied to their home shard.
+	ForwardsRelayed uint64 `json:"forwards_relayed"`
+	// ForwardErrors counts proxy attempts that fell back to local solves.
+	ForwardErrors uint64 `json:"forward_errors"`
+	// ForwardsLocalUnhealthy counts requests solved locally because the
+	// owner was suspect or dead at entry.
+	ForwardsLocalUnhealthy uint64 `json:"forwards_local_unhealthy"`
+}
+
+// ClusterStats snapshots the fleet block, or nil when clustering is off.
+func (s *Server) ClusterStats() *ClusterStats {
+	if s.cluster == nil {
+		return nil
+	}
+	return &ClusterStats{
+		Stats:                  s.cluster.node.Stats(),
+		ForwardsRelayed:        s.cluster.relayed.Load(),
+		ForwardErrors:          s.cluster.forwardErrors.Load(),
+		ForwardsLocalUnhealthy: s.cluster.localUnhealthy.Load(),
+	}
+}
+
+// handleClusterStats serves GET /v1/cluster.
+func (s *Server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ClusterStats())
+}
+
+// handleClusterHeartbeat serves GET /v1/cluster/heartbeat, the liveness
+// probe peers poll; the response names this replica's advertise URL so a
+// misconfigured peer list reads as unhealthy instead of joining the ring.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.node.Heartbeat())
+}
+
+// handleClusterGossip serves POST /v1/cluster/gossip: a peer's hot-set
+// push, validated and folded into the local speculators.
+func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	msg, err := cluster.DecodeGossip(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), maxStages)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	merged := s.cluster.node.ReceiveGossip(msg)
+	writeJSON(w, http.StatusOK, map[string]int{"merged": merged})
+}
+
+// isForwarded reports whether r already hopped once; such requests are
+// always solved locally, bounding any routing disagreement to one hop.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(ForwardedFromHeader) != ""
+}
+
+// relaySchedule proxies a schedule request to its home shard and relays
+// the response verbatim (status, Retry-After, body) annotated with
+// ForwardedToHeader. It returns false — and counts a forward error — when
+// the proxy attempt itself failed (transport error or a 5xx from the
+// owner), in which case the caller solves locally; owner-issued 4xx/429
+// are real answers and are relayed, not retried.
+func (s *Server) relaySchedule(w http.ResponseWriter, r *http.Request, target string, req *ScheduleRequest, class Class, budget time.Duration, arrival time.Time) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		s.cluster.forwardErrors.Add(1)
+		return false
+	}
+	// The owner itself spends up to one budget queueing plus one solving,
+	// so the proxy deadline is twice the class budget.
+	ctx, cancel := context.WithTimeout(r.Context(), 2*budget)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		s.cluster.forwardErrors.Add(1)
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(ForwardedFromHeader, s.cluster.node.Self())
+	resp, err := s.cluster.client.Do(preq)
+	if err != nil {
+		s.cluster.forwardErrors.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+	if err != nil || resp.StatusCode >= http.StatusInternalServerError {
+		s.cluster.forwardErrors.Add(1)
+		return false
+	}
+	s.cluster.relayed.Add(1)
+	s.observeRequest(class, outcomeForwarded, arrival)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(ForwardedToHeader, target)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data)
+	return true
+}
+
+// batchForwardGroups buckets a resolved batch by healthy remote owner;
+// indices of self-owned graphs (or graphs whose owner is unhealthy) are
+// not bucketed and solve locally.
+func (s *Server) batchForwardGroups(graphs []*graph.Graph) map[string][]int {
+	groups := make(map[string][]int)
+	for i, g := range graphs {
+		if target, ok := s.cluster.node.ForwardTarget(g.Fingerprint()); ok {
+			groups[target] = append(groups[target], i)
+		} else if _, self := s.cluster.node.Owner(g.Fingerprint()); !self {
+			s.cluster.localUnhealthy.Add(1)
+		}
+	}
+	return groups
+}
+
+// forwardBatchGroup proxies one owner's sub-batch and returns its items
+// in the order of idx. Any failure (transport, non-200, short or
+// malformed response) is an error; the caller solves the group locally.
+func (s *Server) forwardBatchGroup(ctx context.Context, target string, graphs []*graph.Graph, idx []int, numStages int, class Class, backend string, jobs int) ([]BatchItemJSON, error) {
+	sub := BatchRequest{
+		Graphs:  make([]json.RawMessage, len(idx)),
+		Stages:  numStages,
+		Class:   string(class),
+		Backend: backend,
+		Jobs:    jobs,
+	}
+	for k, i := range idx {
+		var buf bytes.Buffer
+		if err := graphs[i].WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		sub.Graphs[k] = json.RawMessage(buf.Bytes())
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(ForwardedFromHeader, s.cluster.node.Self())
+	resp, err := s.cluster.client.Do(preq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+		return nil, fmt.Errorf("owner %s: status %d", target, resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes)).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Items) != len(idx) {
+		return nil, fmt.Errorf("owner %s: %d items for %d graphs", target, len(br.Items), len(idx))
+	}
+	return br.Items, nil
+}
+
+// runClusteredBatch executes a batch whose graphs span shards: remote
+// groups are proxied to their owners while the local remainder solves
+// here, and any group whose proxy failed is re-solved locally (the
+// fallback guarantee: an admitted batch never loses items to peer
+// failures). Items return in input order.
+func (s *Server) runClusteredBatch(ctx context.Context, cache solver.Scheduler, graphs []*graph.Graph, numStages int, class Class, backend string, jobs int, groups map[string][]int) []BatchItemJSON {
+	items := make([]BatchItemJSON, len(graphs))
+	remote := make(map[int]bool)
+	for _, idx := range groups {
+		for _, i := range idx {
+			remote[i] = true
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		fallback []int
+		wg       sync.WaitGroup
+	)
+	for target, idx := range groups {
+		wg.Add(1)
+		go func(target string, idx []int) {
+			defer wg.Done()
+			sub, err := s.forwardBatchGroup(ctx, target, graphs, idx, numStages, class, backend, jobs)
+			if err != nil {
+				s.cluster.forwardErrors.Add(1)
+				s.logf("cluster: batch group -> %s failed, solving %d items locally: %v", target, len(idx), err)
+				mu.Lock()
+				fallback = append(fallback, idx...)
+				mu.Unlock()
+				return
+			}
+			s.cluster.relayed.Add(1)
+			mu.Lock()
+			for k, i := range idx {
+				items[i] = sub[k]
+				items[i].Index = i
+				items[i].ForwardedTo = target
+			}
+			mu.Unlock()
+		}(target, idx)
+	}
+
+	var local []int
+	for i := range graphs {
+		if !remote[i] {
+			local = append(local, i)
+		}
+	}
+	s.solveBatchLocal(ctx, cache, graphs, local, numStages, jobs, items)
+	wg.Wait()
+	if len(fallback) > 0 {
+		sort.Ints(fallback)
+		s.solveBatchLocal(ctx, cache, graphs, fallback, numStages, jobs, items)
+	}
+	return items
+}
+
+// solveBatchLocal solves the given graph indices through the local batch
+// cache and writes their items (in input positions) into items.
+func (s *Server) solveBatchLocal(ctx context.Context, cache solver.Scheduler, graphs []*graph.Graph, idx []int, numStages, jobs int, items []BatchItemJSON) {
+	if len(idx) == 0 {
+		return
+	}
+	subset := make([]*graph.Graph, len(idx))
+	for k, i := range idx {
+		subset[k] = graphs[i]
+	}
+	results, _ := solver.Batch(ctx, cache, subset, numStages, jobs)
+	for k, res := range results {
+		items[idx[k]] = batchItemJSON(idx[k], res)
+	}
+}

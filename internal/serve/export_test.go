@@ -1,0 +1,10 @@
+package serve
+
+// SetQueuedHook installs f as the named class's admission queuedHook: f
+// runs on a waiter's goroutine right after it takes a queue token. The
+// external test package uses it to observe the parked state without
+// polling the queue gauge. Install before the server starts handling
+// traffic — the field is read without synchronization.
+func (s *Server) SetQueuedHook(class Class, f func()) {
+	s.classes[class].adm.queuedHook = f
+}

@@ -204,6 +204,28 @@ type BatchItemJSON struct {
 	CacheHit  bool      `json:"cache_hit"`
 	Truncated bool      `json:"truncated,omitempty"`
 	ElapsedMS float64   `json:"elapsed_ms"`
+	// ForwardedTo names the fleet peer that solved this item when it was
+	// proxied to its home shard; empty for locally solved items.
+	ForwardedTo string `json:"forwarded_to,omitempty"`
+}
+
+// batchItemJSON converts one batch solve result to its wire form.
+func batchItemJSON(index int, res solver.BatchResult) BatchItemJSON {
+	item := BatchItemJSON{
+		Index:     index,
+		Graph:     res.Graph.Name,
+		CacheHit:  res.CacheHit,
+		Truncated: res.Truncated,
+		ElapsedMS: durMS(res.Elapsed),
+	}
+	if res.Err != nil {
+		item.Error = res.Err.Error()
+	} else {
+		item.Stage = res.Schedule.Stage
+		c := costJSON(res.Cost)
+		item.Cost = &c
+	}
+	return item
 }
 
 // BatchResponse is the POST /v1/batch result, items in input order.
@@ -415,6 +437,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		st.spec.ObserveRequest(g, numStages)
 	}
 
+	// Fleet routing: a request whose graph hashes to another replica is
+	// proxied to its home shard (so that shard's cache and speculation see
+	// all of the key's traffic) before consuming local admission. Already-
+	// forwarded requests always solve locally — one hop, no loops — as do
+	// ad-hoc portfolio overrides (no shared cache to concentrate).
+	if s.cluster != nil && override == nil && !isForwarded(r) {
+		if _, self := s.cluster.node.Owner(g.Fingerprint()); !self {
+			if target, ok := s.cluster.node.ForwardTarget(g.Fingerprint()); ok {
+				if s.relaySchedule(w, r, target, &req, class, st.policy.Budget, arrival) {
+					return
+				}
+				// Relay failed; fall through to the local solve.
+			} else {
+				s.cluster.localUnhealthy.Add(1)
+			}
+		}
+	}
+
 	// Admission: wait at most one class budget for a slot, then solve
 	// under a fresh budget. The solve context is also bound to the client
 	// connection, so abandoned requests cancel their backends. The wait is
@@ -586,34 +626,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), st.policy.Budget)
 	defer cancel()
 	start := time.Now()
-	results, _ := solver.Batch(ctx, cache, graphs, numStages, jobs)
+	// Fleet routing: graphs owned by healthy remote shards are proxied to
+	// their owners as sub-batches (concurrently with the local remainder)
+	// so the owners' caches see the traffic; already-forwarded batches
+	// solve entirely locally.
+	var items []BatchItemJSON
+	if s.cluster != nil && !isForwarded(r) {
+		if groups := s.batchForwardGroups(graphs); len(groups) > 0 {
+			items = s.runClusteredBatch(ctx, cache, graphs, numStages, class, backendName, jobs, groups)
+		}
+	}
+	if items == nil {
+		results, _ := solver.Batch(ctx, cache, graphs, numStages, jobs)
+		items = make([]BatchItemJSON, len(results))
+		for i, res := range results {
+			items[i] = batchItemJSON(i, res)
+		}
+	}
 	s.observeRequest(class, outcomeOK, arrival)
 
 	resp := BatchResponse{
 		Class:     string(class),
 		Backend:   backendName,
 		Stages:    numStages,
-		Count:     len(results),
+		Count:     len(items),
 		ElapsedMS: durMS(time.Since(start)),
-		Items:     make([]BatchItemJSON, len(results)),
+		Items:     items,
 	}
-	for i, res := range results {
-		item := BatchItemJSON{
-			Index:     i,
-			Graph:     res.Graph.Name,
-			CacheHit:  res.CacheHit,
-			Truncated: res.Truncated,
-			ElapsedMS: durMS(res.Elapsed),
-		}
-		if res.Err != nil {
-			item.Error = res.Err.Error()
+	for _, item := range items {
+		if item.Error != "" {
 			resp.Errors++
-		} else {
-			item.Stage = res.Schedule.Stage
-			c := costJSON(res.Cost)
-			item.Cost = &c
 		}
-		resp.Items[i] = item
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"respect/internal/serve"
-	"respect/internal/solver"
 )
 
 // scrapeMetrics GETs /metrics and parses the text exposition into a
@@ -312,19 +311,23 @@ func TestOversizedBodyReturns413(t *testing.T) {
 // a queue-timeout rejection — the latter's client has already waited out
 // a whole budget, so telling it to wait another full budget would be a
 // lie about the queue it nearly cleared.
+var raGate = &gate{}
+
 func TestRetryAfterDiffersByCause(t *testing.T) {
 	// The slot-holder must keep its slot past the queued request's whole
 	// budget, or the queued request would be admitted instead of timing
-	// out — hence a backend that sleeps through cancellation.
-	if err := solver.Register(sleepIgnoringCtx{name: "e2e-sleep-ra", d: 1500 * time.Millisecond}); err != nil {
-		t.Fatal(err)
-	}
+	// out — hence a gated backend the test releases only at the end.
+	registerBackend(t, gatedBackend{name: "e2e-gate-ra", g: raGate})
+	started, release := raGate.arm()
 	budget := 600 * time.Millisecond
-	srv, ts := newTestServer(t, serve.Config{
+	queuedc := make(chan struct{}, 4)
+	_, ts := newTestServerWith(t, serve.Config{
 		WarmModels: []string{},
 		Classes: map[serve.Class]serve.ClassPolicy{
-			"ra": {Budget: budget, Backends: []string{"e2e-sleep-ra"}, MaxConcurrent: 1, MaxQueue: 1},
+			"ra": {Budget: budget, Backends: []string{"e2e-gate-ra"}, MaxConcurrent: 1, MaxQueue: 1},
 		},
+	}, func(s *serve.Server) {
+		s.SetQueuedHook("ra", func() { queuedc <- struct{}{} })
 	})
 	req := serve.ScheduleRequest{Model: "Xception", Class: "ra"}
 	body, err := json.Marshal(req)
@@ -335,7 +338,7 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 		return http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
 	}
 
-	// Request 1 occupies the only slot for the whole budget.
+	// Request 1 occupies the only slot until the gate opens.
 	firstDone := make(chan struct{})
 	go func() {
 		defer close(firstDone)
@@ -343,7 +346,7 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 			resp.Body.Close()
 		}
 	}()
-	waitFor(t, func() bool { return srv.Stats().Classes["ra"].Active == 1 })
+	<-started
 
 	// Request 2 queues; it can never be admitted inside its budget, so it
 	// will come back as a queue-timeout rejection.
@@ -356,7 +359,7 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 			close(queuedResp)
 		}
 	}()
-	waitFor(t, func() bool { return srv.Stats().Classes["ra"].Queued == 1 })
+	<-queuedc
 
 	// Request 3 finds the queue full: immediate capacity rejection whose
 	// hint covers the backlog (1 queued + itself at one budget per slot).
@@ -378,6 +381,7 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 		t.Fatalf("queue-timeout request: status %d, want 429", timeoutResp.StatusCode)
 	}
 	timeoutHint := retryAfterSeconds(t, timeoutResp)
+	close(release)
 	<-firstDone
 
 	if capacityHint <= timeoutHint {
@@ -398,17 +402,21 @@ func TestRetryAfterDiffersByCause(t *testing.T) {
 // (perSlot * backlog grows linearly with MaxQueue) that honest clients
 // would sit out long after the queue drained. The hint must never exceed
 // a few class budgets no matter how deep the queue is.
+var clampGate = &gate{}
+
 func TestRetryAfterClampedOnDeepQueue(t *testing.T) {
-	if err := solver.Register(sleepIgnoringCtx{name: "e2e-sleep-clamp", d: 2 * time.Second}); err != nil {
-		t.Fatal(err)
-	}
+	registerBackend(t, gatedBackend{name: "e2e-gate-clamp", g: clampGate})
+	started, release := clampGate.arm()
 	budget := 300 * time.Millisecond
 	const depth = 20
-	srv, ts := newTestServer(t, serve.Config{
+	queuedc := make(chan struct{}, depth)
+	_, ts := newTestServerWith(t, serve.Config{
 		WarmModels: []string{},
 		Classes: map[serve.Class]serve.ClassPolicy{
-			"deep": {Budget: budget, Backends: []string{"e2e-sleep-clamp"}, MaxConcurrent: 1, MaxQueue: depth},
+			"deep": {Budget: budget, Backends: []string{"e2e-gate-clamp"}, MaxConcurrent: 1, MaxQueue: depth},
 		},
+	}, func(s *serve.Server) {
+		s.SetQueuedHook("deep", func() { queuedc <- struct{}{} })
 	})
 	body, err := json.Marshal(serve.ScheduleRequest{Model: "Xception", Class: "deep"})
 	if err != nil {
@@ -430,10 +438,11 @@ func TestRetryAfterClampedOnDeepQueue(t *testing.T) {
 			resp.Body.Close()
 		}
 	}()
-	waitFor(t, func() bool { return srv.Stats().Classes["deep"].Active == 1 })
+	<-started
 
 	// Fill the queue; every one of these will come back as a
-	// queue-timeout rejection after its budget expires.
+	// queue-timeout rejection after its budget expires. Each queued
+	// waiter signals the hook, so depth signals mean the queue is full.
 	queued := make(chan *http.Response, depth)
 	for i := 0; i < depth; i++ {
 		go func() {
@@ -445,7 +454,9 @@ func TestRetryAfterClampedOnDeepQueue(t *testing.T) {
 			}
 		}()
 	}
-	waitFor(t, func() bool { return srv.Stats().Classes["deep"].Queued == depth })
+	for i := 0; i < depth; i++ {
+		<-queuedc
+	}
 
 	// Queue-full: the backlog is at its deepest, so this is where the old
 	// math quoted 7s.
@@ -475,6 +486,7 @@ func TestRetryAfterClampedOnDeepQueue(t *testing.T) {
 			t.Fatalf("queue-timeout Retry-After = %ds exceeds the %ds cap", hint, capSeconds)
 		}
 	}
+	close(release)
 	<-holderDone
 }
 

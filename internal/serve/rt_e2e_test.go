@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"respect/internal/serve"
-	"respect/internal/solver"
 )
 
 // TestPeriodicRegistrationAndSchedulability drives the registration API
@@ -151,9 +150,7 @@ func TestPeriodicMissMetricsReconcileAndShutdown(t *testing.T) {
 	// A backend that sleeps 30ms guarantees every job finishes well past
 	// the 10ms stream deadline below — misses are deterministic, not a
 	// timing accident.
-	if err := solver.Register(sleepIgnoringCtx{name: "rt-e2e-sleep", d: 30 * time.Millisecond}); err != nil {
-		t.Fatal(err)
-	}
+	registerBackend(t, sleepIgnoringCtx{name: "rt-e2e-sleep", d: 30 * time.Millisecond})
 	srv, err := serve.New(serve.Config{
 		WarmModels: []string{},
 		Classes: map[serve.Class]serve.ClassPolicy{
@@ -235,9 +232,9 @@ func TestPeriodicMissMetricsReconcileAndShutdown(t *testing.T) {
 		t.Errorf("queue not drained by shutdown: %+v", stats.RT)
 	}
 
-	// No orphaned releases: several periods after shutdown, the release
-	// counter has not moved — in stats or in the exposition.
-	time.Sleep(250 * time.Millisecond)
+	// No orphaned releases: Run has returned, which waits out every
+	// dispatcher goroutine, so the release counter is provably frozen —
+	// in stats and in the exposition.
 	after := srv.Stats()
 	if after.RT.Releases != stats.RT.Releases {
 		t.Fatalf("releases moved after shutdown: %d -> %d", stats.RT.Releases, after.RT.Releases)

@@ -31,6 +31,9 @@
 //	DELETE /v1/periodic/{name}  unregister a periodic stream
 //	GET  /v1/backends   registered backends, zoo models, class policies
 //	GET  /v1/stats      admission / cache / uptime counters
+//	GET  /v1/cluster    fleet membership + forwarding counters
+//	GET  /v1/cluster/heartbeat  peer liveness probe
+//	POST /v1/cluster/gossip     peer popularity push
 //	GET  /metrics       Prometheus text exposition (v0.0.4)
 //	GET  /healthz       liveness probe
 //
@@ -39,6 +42,12 @@
 // releases one scheduling job per stream per period into a pluggable
 // FIFO/RM/EDF queue discipline, with schedulability-test admission and
 // deadline-miss/tardiness metrics.
+//
+// The cluster endpoints are mounted only when Config.Cluster.Peers is
+// set: the server then shards the graph-fingerprint space across the
+// fleet by consistent hashing, proxies requests to their home shard
+// (falling back to a local solve when the owner is unhealthy), and
+// gossips speculation popularity so the fleet warms hot instances once.
 package serve
 
 import (
@@ -155,6 +164,10 @@ type Config struct {
 	// RT enables the periodic-task mode (/v1/periodic streams dispatched
 	// by deadline-aware queue disciplines); the zero value leaves it off.
 	RT RTConfig
+	// Cluster enables fleet mode: consistent-hash sharding over the peer
+	// set with request forwarding and popularity gossip. The zero value
+	// (no peers) leaves the server standalone.
+	Cluster ClusterConfig
 	// Logf, when set, receives service log lines (warm-up, shutdown).
 	Logf func(format string, args ...any)
 }
@@ -197,6 +210,10 @@ type Server struct {
 	reqSeconds     *metrics.HistogramVec // class, outcome
 	queueSeconds   *metrics.HistogramVec // class
 	admissionTotal *metrics.CounterVec   // class, result (func-backed)
+
+	// Fleet mode (nil unless Config.Cluster.Peers is set): membership,
+	// sharding and the forwarding counters.
+	cluster *clusterState
 
 	// Periodic-task mode (nil/zero unless Config.RT.Enabled): the
 	// dispatcher, the rt metric families and the cost-estimate quantile.
@@ -293,6 +310,9 @@ func New(cfg Config) (*Server, error) {
 	if err := s.initRT(); err != nil {
 		return nil, err
 	}
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
@@ -303,6 +323,11 @@ func New(cfg Config) (*Server, error) {
 	if s.rtDisp != nil {
 		s.mux.HandleFunc("/v1/periodic", s.handlePeriodic)
 		s.mux.HandleFunc("/v1/periodic/", s.handlePeriodicItem)
+	}
+	if s.cluster != nil {
+		s.mux.HandleFunc("/v1/cluster", s.handleClusterStats)
+		s.mux.HandleFunc("/v1/cluster/heartbeat", s.handleClusterHeartbeat)
+		s.mux.HandleFunc("/v1/cluster/gossip", s.handleClusterGossip)
 	}
 	if !cfg.DisableMetrics {
 		s.mux.Handle("/metrics", s.reg.Handler())
@@ -462,6 +487,15 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		return err
 	}
 	defer stopRT()
+	clusterDone := make(chan struct{})
+	if s.cluster != nil {
+		go func() {
+			defer close(clusterDone)
+			s.cluster.node.Run(ctx)
+		}()
+	} else {
+		close(clusterDone)
+	}
 
 	httpSrv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
@@ -476,6 +510,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	<-warmDone
 	stopSpec()
 	stopRT()
+	<-clusterDone // ctx is done, so the membership loops have exited
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -510,6 +545,9 @@ type Stats struct {
 	// RT is the periodic-task dispatcher snapshot; absent when the mode
 	// is disabled.
 	RT *rt.Stats `json:"rt,omitempty"`
+	// Cluster is the fleet membership/forwarding snapshot; absent when
+	// clustering is disabled.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats snapshots admission, cache and request counters.
@@ -528,6 +566,7 @@ func (s *Server) Stats() Stats {
 		rts := s.rtDisp.Stats()
 		out.RT = &rts
 	}
+	out.Cluster = s.ClusterStats()
 	for class, st := range s.classes {
 		hits, misses := st.engine.Stats()
 		out.Classes[string(class)] = ClassStats{

@@ -28,9 +28,20 @@ import (
 // newTestServer mounts a service on an httptest listener.
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
 	t.Helper()
+	return newTestServerWith(t, cfg, nil)
+}
+
+// newTestServerWith applies mutate to the constructed server before the
+// httptest listener goroutine starts, so test-hook installs are ordered
+// before every handler read of them.
+func newTestServerWith(t *testing.T, cfg serve.Config, mutate func(*serve.Server)) (*serve.Server, *httptest.Server) {
+	t.Helper()
 	srv, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(srv)
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -186,20 +197,68 @@ func TestBudgetExpiryReturnsTruncatedIncumbent(t *testing.T) {
 	}
 }
 
-// blockUntilCancelled is a registry backend that parks until its context
-// is cancelled — synthetic slow load for the admission tests.
-type blockUntilCancelled struct{ name string }
-
-func (b blockUntilCancelled) Name() string { return b.name }
-func (b blockUntilCancelled) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
-	<-ctx.Done()
-	return sched.Schedule{}, ctx.Err()
-}
-
-func TestAdmissionControlRejectsOverload(t *testing.T) {
-	if err := solver.Register(blockUntilCancelled{name: "e2e-block"}); err != nil {
+// registerBackend registers a test backend with the global solver
+// registry, tolerating re-registration: -count>1 re-runs tests in one
+// process, and the registry keeps the first (behaviorally identical)
+// instance.
+func registerBackend(t *testing.T, s solver.Scheduler) {
+	t.Helper()
+	if err := solver.Register(s); err != nil && !strings.Contains(err.Error(), "already registered") {
 		t.Fatal(err)
 	}
+}
+
+// gate coordinates a gated backend with the test driving it: Schedule
+// signals started, then parks — ignoring cancellation — until the test
+// closes the release channel. The registry keeps the first registered
+// instance across -count>1 runs, so the backend reads its channels
+// through the gate and each test re-arms fresh ones.
+type gate struct {
+	mu      sync.Mutex
+	started chan struct{}
+	release chan struct{}
+}
+
+// arm installs and returns fresh channels for one test run.
+func (g *gate) arm() (started <-chan struct{}, release chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.started = make(chan struct{}, 64)
+	g.release = make(chan struct{})
+	return g.started, g.release
+}
+
+func (g *gate) chans() (chan struct{}, chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.started, g.release
+}
+
+// gatedBackend holds its admission slot deterministically: the portfolio
+// waits for every backend even past its deadline, so the slot stays
+// occupied exactly until the test opens the gate — no wall-clock sleeps
+// and no guessing how long a slot-holder needs to linger.
+type gatedBackend struct {
+	name string
+	g    *gate
+}
+
+func (b gatedBackend) Name() string { return b.name }
+func (b gatedBackend) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	started, release := b.g.chans()
+	select {
+	case started <- struct{}{}:
+	default:
+	}
+	<-release
+	return sched.Schedule{}, context.DeadlineExceeded
+}
+
+var overloadGate = &gate{}
+
+func TestAdmissionControlRejectsOverload(t *testing.T) {
+	registerBackend(t, gatedBackend{name: "e2e-block", g: overloadGate})
+	started, release := overloadGate.arm()
 	budget := 400 * time.Millisecond
 	srv, ts := newTestServer(t, serve.Config{
 		WarmModels: []string{},
@@ -232,14 +291,9 @@ func TestAdmissionControlRejectsOverload(t *testing.T) {
 		defer close(firstDone)
 		_, _, _ = post(req)
 	}()
-	// Wait until the first request actually holds the slot.
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Classes["tiny"].Active == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("first request never became active")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// The backend signals once it runs — i.e. once the first request
+	// holds the class's only slot.
+	<-started
 
 	var rejected int
 	var wg sync.WaitGroup
@@ -268,6 +322,7 @@ func TestAdmissionControlRejectsOverload(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	close(release)
 	<-firstDone
 	if rejected == 0 {
 		t.Fatal("no request was rejected under synthetic overload")
@@ -292,14 +347,15 @@ func (b sleepIgnoringCtx) Schedule(ctx context.Context, g *graph.Graph, numStage
 	return sched.Schedule{}, context.DeadlineExceeded
 }
 
+var queueGate = &gate{}
+
 func TestAdmissionQueueTimeout(t *testing.T) {
-	if err := solver.Register(sleepIgnoringCtx{name: "e2e-sleep-q", d: 1200 * time.Millisecond}); err != nil {
-		t.Fatal(err)
-	}
+	registerBackend(t, gatedBackend{name: "e2e-gate-q", g: queueGate})
+	started, release := queueGate.arm()
 	srv, ts := newTestServer(t, serve.Config{
 		WarmModels: []string{},
 		Classes: map[serve.Class]serve.ClassPolicy{
-			"queued": {Budget: 250 * time.Millisecond, Backends: []string{"e2e-sleep-q"}, MaxConcurrent: 1, MaxQueue: 4},
+			"queued": {Budget: 250 * time.Millisecond, Backends: []string{"e2e-gate-q"}, MaxConcurrent: 1, MaxQueue: 4},
 		},
 	})
 	req := serve.ScheduleRequest{Model: "Xception", Class: "queued"}
@@ -315,19 +371,16 @@ func TestAdmissionQueueTimeout(t *testing.T) {
 			resp.Body.Close()
 		}
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Classes["queued"].Active == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("first request never became active")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// The gate holds the slot until the test opens it, so the queued
+	// request below can never be admitted inside its budget.
+	<-started
 	// The second request fits in the queue but can never be admitted
 	// within its budget; it must come back 429 after about one budget.
 	resp, _ := postJSON(t, ts.URL+"/v1/schedule", req)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("queued-past-budget request: status %d, want 429", resp.StatusCode)
 	}
+	close(release)
 	<-done
 	if st := srv.Stats().Classes["queued"]; st.RejectedQueueTimeout == 0 {
 		t.Fatalf("queue timeout not recorded: %+v", st)

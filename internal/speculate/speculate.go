@@ -235,6 +235,33 @@ func (s *Speculator) WasSpeculative(fp uint64, numStages int) bool {
 	return s.speculative[Key{FP: fp, Stages: numStages}]
 }
 
+// HotEntries returns up to max actionable hot instances — decayed score
+// at or above MinScore and graph retained — hottest first. It is the
+// fleet-gossip source: entries a peer could not act on are omitted.
+func (s *Speculator) HotEntries(max int) []Entry {
+	hot := s.tracker.Hot(s.tracker.Len())
+	out := make([]Entry, 0, max)
+	for _, e := range hot {
+		if len(out) >= max {
+			break
+		}
+		if e.Score < s.cfg.MinScore || e.Graph == nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// MergeRemote folds one peer-observed hot instance into local popularity
+// tracking (max-merge via Tracker.Boost) and reports whether it raised
+// the local score. The next speculation pass treats merged keys exactly
+// like locally observed demand, so a fleet warms a hot instance once and
+// gossips the warmth instead of N replicas discovering it independently.
+func (s *Speculator) MergeRemote(g *graph.Graph, numStages int, score float64) bool {
+	return s.tracker.Boost(g, numStages, score)
+}
+
 // PopularityScore returns the key's decayed popularity score. It backs
 // the solver cache's popularity-aware eviction ordering and is safe to
 // call from the LRU's locked victim-selection path (the tracker lock is a

@@ -510,3 +510,126 @@ func TestWatermarkUnsetDisabledDistinct(t *testing.T) {
 		t.Fatal("muted speculator marked a key speculative")
 	}
 }
+
+// TestTrackerBoostMaxMerge: gossip merging is max-merge — idempotent
+// under repeated delivery, never additive, and respectful of local decay.
+func TestTrackerBoostMaxMerge(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := NewTracker(time.Minute, 16)
+	tr.now = func() time.Time { return now }
+
+	g := testGraph(t, 1)
+	key := Key{FP: g.Fingerprint(), Stages: 4}
+
+	if !tr.Boost(g, 4, 5) {
+		t.Fatal("first boost of an untracked key did not raise")
+	}
+	if got := tr.Score(key); got != 5 {
+		t.Fatalf("score after boost = %v, want 5", got)
+	}
+	// Redelivery of the same snapshot is a no-op, not a doubling.
+	if tr.Boost(g, 4, 5) {
+		t.Fatal("redelivered boost reported a raise")
+	}
+	if got := tr.Score(key); got != 5 {
+		t.Fatalf("score after redelivery = %v, want 5 (max-merge, not add)", got)
+	}
+	// A lower remote score never drags a hotter local key down.
+	tr.Boost(g, 4, 2)
+	if got := tr.Score(key); got != 5 {
+		t.Fatalf("score after lower boost = %v, want 5", got)
+	}
+	// Local observations keep accumulating on top of the merged score.
+	tr.Observe(g, 4)
+	if got := tr.Score(key); got != 6 {
+		t.Fatalf("score after observe = %v, want 6", got)
+	}
+	// Decay applies to merged scores like any other.
+	now = now.Add(time.Minute)
+	if got := tr.Score(key); got < 2.99 || got > 3.01 {
+		t.Fatalf("score after one half-life = %v, want ~3", got)
+	}
+	// Nonsense scores are ignored.
+	if tr.Boost(g, 4, 0) || tr.Boost(g, 4, -3) || tr.Boost(nil, 4, 1) {
+		t.Fatal("non-positive or nil-graph boost reported a raise")
+	}
+}
+
+// TestTrackerBoostRetainsGraph: a boost past retainScore retains the
+// graph so the local speculator can act without a client round trip,
+// including filling in a graph on a non-raising merge.
+func TestTrackerBoostRetainsGraph(t *testing.T) {
+	tr := NewTracker(time.Minute, 16)
+	tr.retainScore = 1.5
+
+	g := testGraph(t, 1)
+	key := Key{FP: g.Fingerprint(), Stages: 4}
+	tr.Boost(g, 4, 1) // below retainScore: score only
+	if tr.Graph(key) != nil {
+		t.Fatal("graph retained below retainScore")
+	}
+	if !tr.Boost(g, 4, 1.4) {
+		t.Fatal("1.4 > current 1 should raise")
+	}
+	if tr.Graph(key) != nil {
+		t.Fatal("graph retained at 1.4 < retainScore 1.5")
+	}
+	tr.Boost(g, 4, 2)
+	if tr.Graph(key) == nil {
+		t.Fatal("graph not retained at score 2 >= retainScore 1.5")
+	}
+
+	// Non-raising merge still fills a missing graph: simulate a key made
+	// hot by Observe while the graph was never retained (fresh tracker
+	// with a higher bar, then bar crossed by boost).
+	tr2 := NewTracker(time.Minute, 16)
+	tr2.retainScore = 3
+	for i := 0; i < 4; i++ {
+		tr2.Observe(g, 4)
+	}
+	if tr2.Graph(key) == nil {
+		t.Fatal("setup: observe should have retained at 4 >= 3")
+	}
+}
+
+// TestSpeculatorHotEntriesAndMergeRemote: the gossip source yields only
+// actionable entries, and merged remote demand drives the next pass's
+// warms exactly like local demand.
+func TestSpeculatorHotEntriesAndMergeRemote(t *testing.T) {
+	target := newFakeTarget()
+	s, err := New(Config{Target: target, Budget: 8, TopK: 8, MinScore: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := testGraph(t, 1), testGraph(t, 2)
+	for i := 0; i < 3; i++ {
+		s.ObserveRequest(hot, 4)
+	}
+	s.ObserveRequest(cold, 4) // score 1 < MinScore: not gossip-worthy
+
+	entries := s.HotEntries(8)
+	if len(entries) != 1 {
+		t.Fatalf("HotEntries = %d entries, want 1 (cold keys and graph-less keys excluded)", len(entries))
+	}
+	if entries[0].Key.FP != hot.Fingerprint() || entries[0].Graph == nil {
+		t.Fatalf("HotEntries[0] = %+v", entries[0])
+	}
+
+	// A receiving replica merges the entry and its next pass warms it.
+	peerTarget := newFakeTarget()
+	peer, err := New(Config{Target: peerTarget, Budget: 8, TopK: 8, MinScore: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !peer.MergeRemote(entries[0].Graph, entries[0].Key.Stages, entries[0].Score) {
+		t.Fatal("MergeRemote of a fresh key did not raise")
+	}
+	// The pass warms the merged key itself plus whatever mutations the
+	// generator derives from it — at least one store, key included.
+	if n := peer.RunOnce(context.Background()); n < 1 {
+		t.Fatalf("pass after merge warmed %d, want >= 1", n)
+	}
+	if !peerTarget.Contains(hot, 4) {
+		t.Fatal("merged key not warmed into the peer's cache")
+	}
+}
