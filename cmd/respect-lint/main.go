@@ -1,0 +1,129 @@
+// Command respect-lint runs the repo's zero-dependency invariant
+// analyzer suite (internal/analysis) over the module: repo-aware
+// static passes that enforce the concurrency and observability
+// invariants earlier PRs established by hand (cancellation reaching
+// solver loops, all-atomic field access, sleep-free tests, paired and
+// reset sync.Pool scratch, once-only metric registration).
+//
+// Usage:
+//
+//	respect-lint [-list] [-passes p1,p2] [./... | dir ...]
+//
+// Diagnostics print as file:line:col: pass: message, and any finding
+// makes the exit status non-zero, so CI can gate on it. Per-line
+// suppressions use //lint:ignore <pass> <reason> — the reason is
+// mandatory. See docs/development.md for the pass catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"respect/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses flags, loads the requested
+// packages, runs the selected passes, prints diagnostics to out, and
+// returns the process exit code.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("respect-lint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "list registered passes and exit")
+	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Fprintf(out, "%-12s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+
+	passes := analysis.Passes()
+	if *passNames != "" {
+		passes = passes[:0]
+		for _, name := range strings.Split(*passNames, ",") {
+			p := analysis.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fmt.Fprintf(errw, "respect-lint: unknown pass %q (try -list)\n", name)
+				return 2
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	root, err := findModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(errw, "respect-lint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(errw, "respect-lint: %v\n", err)
+		return 2
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	var units []*analysis.Unit
+	for _, t := range targets {
+		var us []*analysis.Unit
+		var err error
+		if t == "./..." || t == "..." {
+			us, err = loader.LoadModule()
+		} else {
+			us, err = loader.LoadDir(strings.TrimSuffix(t, "/"))
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "respect-lint: %v\n", err)
+			return 2
+		}
+		units = append(units, us...)
+	}
+
+	diags := analysis.Run(units, passes)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Pass, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "respect-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

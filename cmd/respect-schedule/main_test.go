@@ -16,23 +16,43 @@ import (
 	"time"
 )
 
+// cmdNames enumerates the command directories under cmd/ so the smoke
+// build can never silently drift out of sync with the tree when a new
+// binary is added.
+func cmdNames(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no command directories found under cmd/")
+	}
+	return names
+}
+
 // buildBinaries compiles every cmd package into a shared temp dir once per
 // test binary.
 func buildBinaries(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	cmd := exec.Command("go", "build", "-o", dir,
-		"respect/cmd/respect-schedule",
-		"respect/cmd/respect-serve",
-		"respect/cmd/respect-bench",
-		"respect/cmd/respect-graphgen",
-		"respect/cmd/respect-train",
-	)
+	names := cmdNames(t)
+	args := []string{"build", "-o", dir}
+	for _, name := range names {
+		args = append(args, "respect/cmd/"+name)
+	}
+	cmd := exec.Command("go", args...)
 	cmd.Env = os.Environ()
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go build cmd/...: %v\n%s", err, out)
 	}
-	for _, name := range []string{"respect-schedule", "respect-serve", "respect-bench", "respect-graphgen", "respect-train"} {
+	for _, name := range names {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Fatalf("binary %s missing after build: %v", name, err)
 		}
@@ -62,6 +82,21 @@ func TestScheduleSolveSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "objective:") {
 		t.Fatalf("no objective in output:\n%s", out)
+	}
+}
+
+// TestLintListSmoke checks the analyzer driver binary is wired to the
+// full pass catalogue: -list must print every registered pass.
+func TestLintListSmoke(t *testing.T) {
+	dir := buildBinaries(t)
+	out, err := exec.Command(filepath.Join(dir, "respect-lint"), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("respect-lint -list: %v\n%s", err, out)
+	}
+	for _, pass := range []string{"atomicfield", "ctxloop", "metriconce", "nosleeptest", "poolpair"} {
+		if !strings.Contains(string(out), pass) {
+			t.Fatalf("respect-lint -list missing pass %q:\n%s", pass, out)
+		}
 	}
 }
 

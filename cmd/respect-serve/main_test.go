@@ -105,6 +105,36 @@ func TestRunStartupShutdown(t *testing.T) {
 	}
 }
 
+// pollUntil re-checks cond every few milliseconds until it returns true
+// or the timeout elapses. Every wait in this file funnels through here,
+// so the one deliberately bounded sleep lives in one place.
+func pollUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		//lint:ignore nosleeptest deadline-bounded poll interval shared by every wait in this file
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+// waitForOutput polls out until re matches, returning the first capture
+// group (e.g. a listen address) or "" on timeout.
+func waitForOutput(t *testing.T, out *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	var got string
+	pollUntil(t, 15*time.Second, func() bool {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			got = m[1]
+		}
+		return got != ""
+	})
+	return got
+}
+
 // startServe boots run() with the given extra flags on an ephemeral port
 // and returns the base URL plus the shutdown plumbing.
 func startServe(t *testing.T, extra ...string) (base string, out *syncBuffer, cancel context.CancelFunc, done chan error) {
@@ -114,14 +144,7 @@ func startServe(t *testing.T, extra ...string) (base string, out *syncBuffer, ca
 	done = make(chan error, 1)
 	args := append([]string{"-addr", "127.0.0.1:0", "-warm", "none"}, extra...)
 	go func() { done <- run(ctx, args, out) }()
-	deadline := time.Now().Add(15 * time.Second)
-	for base == "" && time.Now().Before(deadline) {
-		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
-			base = m[1]
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	base = waitForOutput(t, out, listenRE)
 	if base == "" {
 		cancelCtx()
 		t.Fatalf("no listening line; output: %s", out.String())
@@ -453,22 +476,13 @@ func TestRunWarmUpCachesZooSubset(t *testing.T) {
 	go func() {
 		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-warm", "MobileNet,VGG16"}, &out)
 	}()
-	var base string
-	deadline := time.Now().Add(15 * time.Second)
-	for base == "" && time.Now().Before(deadline) {
-		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
-			base = m[1]
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	base := waitForOutput(t, &out, listenRE)
 	if base == "" {
 		t.Fatalf("no listening line; output: %s", out.String())
 	}
 
 	// Wait for the warm-up to land (it runs concurrently with serving).
-	warmed := false
-	for time.Now().Before(deadline) && !warmed {
+	warmed := pollUntil(t, 15*time.Second, func() bool {
 		resp, err := http.Get(base + "/v1/stats")
 		if err != nil {
 			t.Fatal(err)
@@ -481,11 +495,8 @@ func TestRunWarmUpCachesZooSubset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		warmed = st.WarmedSchedules >= 2
-		if !warmed {
-			time.Sleep(10 * time.Millisecond)
-		}
-	}
+		return st.WarmedSchedules >= 2
+	})
 	if !warmed {
 		t.Fatalf("warm-up never completed; output: %s", out.String())
 	}
@@ -527,15 +538,7 @@ func TestRunPprofFlag(t *testing.T) {
 	base, out, cancel, done := startServe(t, "-pprof", "127.0.0.1:0")
 	defer func() { cancel(); <-done }()
 
-	var pbase string
-	deadline := time.Now().Add(15 * time.Second)
-	for pbase == "" && time.Now().Before(deadline) {
-		if m := pprofRE.FindStringSubmatch(out.String()); m != nil {
-			pbase = m[1]
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	pbase := waitForOutput(t, out, pprofRE)
 	if pbase == "" {
 		t.Fatalf("no pprof line; output: %s", out.String())
 	}

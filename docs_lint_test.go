@@ -77,6 +77,7 @@ func TestDocsRelativeLinks(t *testing.T) {
 // docCheckedPackages are the serving-stack packages held to full go-doc
 // coverage of their exported identifiers.
 var docCheckedPackages = []string{
+	"internal/analysis",
 	"internal/cluster",
 	"internal/rt",
 	"internal/serve",

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicFns are the sync/atomic function-name prefixes that take an
+// address and make the pointed-to field part of an atomic access
+// protocol.
+var atomicFnPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+// isAtomicFn reports whether obj is one of sync/atomic's functions
+// operating through a pointer (AddInt64, LoadUint32, ...).
+func isAtomicFn(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicFnPrefixes {
+		if strings.HasPrefix(obj.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicfieldModule enforces the all-or-nothing atomic access
+// invariant across the whole module: once any code passes &x.f to a
+// sync/atomic function, every other read or write of that field must
+// go through sync/atomic too — a single plain access is a data race
+// (this is exactly the bug class the function-backed metrics in
+// internal/serve and internal/rt invite, fixed by hand in PR 3 and
+// PR 7; the repo's cure is usually the atomic.Int64-style types, which
+// make non-atomic access inexpressible). Fields are matched by their
+// declaration position, which is stable across the plain and
+// test-augmented type-checks of a package. Known limitation: an
+// address that flows through an intermediate pointer variable before
+// reaching sync/atomic is not tracked.
+func atomicfieldModule(units []*Unit) []Diagnostic {
+	// Phase 1: every field whose address reaches a sync/atomic call,
+	// and the exact selector nodes used inside those calls (exempt from
+	// phase 2).
+	type fieldInfo struct {
+		name  string
+		where token.Position // one atomic call site, for the message
+	}
+	atomicFields := make(map[token.Pos]fieldInfo)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFn(calleeObj(u.Info, call)) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s, ok := u.Info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						continue
+					}
+					obj := s.Obj()
+					if _, seen := atomicFields[obj.Pos()]; !seen {
+						atomicFields[obj.Pos()] = fieldInfo{
+							name:  obj.Name(),
+							where: u.Fset.Position(call.Pos()),
+						}
+					}
+					exempt[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: any other selection of those fields is a plain access.
+	var diags []Diagnostic
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || exempt[sel] {
+					return true
+				}
+				s, ok := u.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				fi, ok := atomicFields[s.Obj().Pos()]
+				if !ok || fi.name != s.Obj().Name() {
+					return true
+				}
+				diags = append(diags, diag(u, sel.Sel.Pos(), "atomicfield",
+					"field %s is accessed via sync/atomic (e.g. %s:%d) but read or written plainly here; every access must be atomic",
+					fi.name, fi.where.Filename, fi.where.Line))
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxloopScope names the solver packages (by final import-path
+// segment) whose loops must observe cancellation: the exact, ILP and
+// LP search engines and the scheduling DP. PR 1 plumbed
+// deadline/cancel through these loops by hand; this pass keeps them
+// honest.
+var ctxloopScope = map[string]bool{"exact": true, "ilp": true, "lp": true, "sched": true}
+
+// ctxloopRun enforces the cancellation-reaches-every-search-loop
+// invariant. In scope are functions that bear a cancellation signal: a
+// context.Context parameter, or a receiver whose struct carries a
+// context.Context or cancel-channel (<-chan struct{}) field, in the
+// ctxloopScope packages. Every while-shaped loop in such a function —
+// `for { ... }` or `for cond { ... }`, the shape of pivot, search and
+// retry loops — must, somewhere in its body, check ctx.Err()/ctx.Done(),
+// receive from a cancel channel, forward the context or cancel channel
+// to a callee, or call a same-package function that (transitively)
+// does one of those. Range loops and three-clause counted loops are
+// bounded by their operand and exempt.
+func ctxloopRun(u *Unit) []Diagnostic {
+	if !ctxloopScope[lastSegment(u.Path)] {
+		return nil
+	}
+
+	// Phase 1: which functions in this package observe cancellation,
+	// directly or by calling something that does?
+	checks := make(map[types.Object]bool)
+	callees := make(map[types.Object][]types.Object)
+	var decls []*ast.FuncDecl
+	for _, f := range u.Files {
+		if isTestFile(u, f) {
+			continue // test helpers are nosleeptest's domain
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			obj := u.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if containsDirectCheck(u, fd.Body) {
+				checks[obj] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeObj(u.Info, call); callee != nil && callee.Pkg() == u.Pkg {
+					callees[obj] = append(callees[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, cs := range callees {
+			if checks[obj] {
+				continue
+			}
+			for _, c := range cs {
+				if checks[c] {
+					checks[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: flag non-compliant while-shaped loops in ctx-bearing
+	// functions.
+	var diags []Diagnostic
+	for _, fd := range decls {
+		if !ctxBearing(u, fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if !loopObservesCancel(u, checks, loop.Body) {
+				diags = append(diags, diag(u, loop.For, "ctxloop",
+					"loop in cancellation-bearing %s can outlive its context: check ctx.Err()/ctx.Done() (or a cancel channel) in the loop, or call something that does",
+					fd.Name.Name))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ctxBearing reports whether fd carries a cancellation signal: a
+// context.Context or cancel-channel parameter, or a receiver whose
+// struct type has such a field.
+func ctxBearing(u *Unit, fd *ast.FuncDecl) bool {
+	obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContextType(t) || isCancelChan(t) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					t := st.Field(i).Type()
+					if isContextType(t) || isCancelChan(t) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containsDirectCheck reports whether node directly observes or
+// forwards a cancellation signal: a .Err()/.Done() call on a context,
+// a receive from a cancel channel, or a call that passes a context or
+// cancel channel along.
+func containsDirectCheck(u *Unit, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+				if tv, ok := u.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := u.Info.Types[arg]; ok && (isContextType(tv.Type) || isCancelChan(tv.Type)) {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if tv, ok := u.Info.Types[n.X]; ok && isCancelChan(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopObservesCancel reports whether a loop body contains a direct
+// cancellation check or a call to a same-package function known
+// (transitively) to perform one.
+func loopObservesCancel(u *Unit, checks map[types.Object]bool, body ast.Node) bool {
+	if containsDirectCheck(u, body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := calleeObj(u.Info, call); callee != nil && checks[callee] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

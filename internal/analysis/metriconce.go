@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// registryMethods are the metrics.Registry methods that register a new
+// family; the first argument is the family name.
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true, "CounterVec": true,
+	"Gauge": true, "GaugeFunc": true, "GaugeVec": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+// vecTypes are the labeled family handles whose With/Func calls take
+// label values.
+var vecTypes = map[string]bool{"CounterVec": true, "GaugeVec": true, "HistogramVec": true}
+
+// labelBuilders are the formatting functions that mint unbounded label
+// values; a label built by one of these opens a cardinality leak.
+var labelBuilders = map[string]map[string]bool{
+	"fmt":     {"Sprint": true, "Sprintf": true, "Sprintln": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "Quote": true},
+}
+
+// metriconceRun enforces the metric-registration discipline the
+// observability layer (PR 3) was built around:
+//
+//   - family names passed to Registry.Counter/Gauge/Histogram/…Vec/
+//     …Func must be compile-time constant strings, so the exposition
+//     surface is auditable statically;
+//   - the same family name must not be registered at more than one
+//     call site in a package — Registry panics on duplicate names at
+//     runtime, and two sites registering one name means either a
+//     double registration on a shared registry or two metrics fighting
+//     over a name;
+//   - label values passed to a Vec's With/Func must not be built by
+//     fmt/strconv at the call site — formatted label values are how a
+//     closed label set silently becomes per-request cardinality.
+//
+// Test files are exempt: tests register throwaway names against
+// throwaway registries. The pass matches the metrics package by its
+// final import-path segment so fixtures can model it.
+func metriconceRun(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	type site struct {
+		pos  ast.Node
+		name string
+	}
+	byName := make(map[string][]site)
+	for _, f := range u.Files {
+		if isTestFile(u, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(u.Info, call)
+			switch {
+			case isRegistryMethod(callee):
+				if len(call.Args) == 0 {
+					return true
+				}
+				name, isConst := constString(u, call.Args[0])
+				if !isConst {
+					diags = append(diags, diag(u, call.Args[0].Pos(), "metriconce",
+						"metric family name must be a compile-time constant string so the exposition surface is statically auditable"))
+					return true
+				}
+				byName[name] = append(byName[name], site{pos: call, name: name})
+			case isVecLabelMethod(callee):
+				args := call.Args
+				if callee.Name() == "Func" && len(args) > 0 {
+					args = args[1:] // first arg is the sample callback
+				}
+				for _, a := range args {
+					if pkg, fn, ok := builderCall(u, a); ok {
+						diags = append(diags, diag(u, a.Pos(), "metriconce",
+							"label value built with %s.%s: formatted labels are unbounded cardinality; use a closed, constant label set", pkg, fn))
+					}
+				}
+			}
+			return true
+		})
+	}
+	for name, sites := range byName {
+		if len(sites) < 2 {
+			continue
+		}
+		first := u.Fset.Position(sites[0].pos.Pos())
+		for _, s := range sites[1:] {
+			diags = append(diags, diag(u, s.pos.Pos(), "metriconce",
+				"metric family %q is also registered at %s:%d; a family registers exactly once per registry (Registry panics on duplicates)",
+				name, first.Filename, first.Line))
+		}
+	}
+	return diags
+}
+
+// isRegistryMethod reports whether obj is a family-registering method
+// on a metrics Registry.
+func isRegistryMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || !registryMethods[fn.Name()] {
+		return false
+	}
+	return methodOn(obj, "metrics", "Registry", fn.Name())
+}
+
+// isVecLabelMethod reports whether obj is With or Func on a labeled
+// family handle.
+func isVecLabelMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || (fn.Name() != "With" && fn.Name() != "Func") {
+		return false
+	}
+	for t := range vecTypes {
+		if methodOn(obj, "metrics", t, fn.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(u *Unit, e ast.Expr) (string, bool) {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// builderCall reports whether e is a direct call to a fmt/strconv
+// value formatter.
+func builderCall(u *Unit, e ast.Expr) (pkg, fn string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	obj := calleeObj(u.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	fns, ok := labelBuilders[obj.Pkg().Path()]
+	if !ok || !fns[obj.Name()] {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolpairRun enforces the two sync.Pool invariants PR 5's hot-path
+// arenas rely on:
+//
+//  1. Pairing: every pool.Get() has a guaranteed Put back — in the
+//     same function (directly, deferred, or through a same-package
+//     release helper that Puts). A function may instead return the
+//     pooled object (a provider like acquireScratch), in which case
+//     the package must contain a Put on that pool somewhere; a Get
+//     whose object neither escapes nor is Put leaks warm scratch and
+//     silently degrades the pool to an allocator.
+//
+//  2. Reset: a pool whose New constructs a package-local scratch
+//     struct must give that struct a reset/Reset method, and the
+//     package must call it — pooled scratch reused without a reset is
+//     how one solve's state leaks into the next (the PR 5 bug class).
+func poolpairRun(u *Unit) []Diagnostic {
+	type poolCall struct {
+		call *ast.CallExpr
+		pool types.Object
+	}
+
+	// Gather every Get/Put site and which pools each function Puts to.
+	putsIn := make(map[types.Object]map[types.Object]bool) // func -> pools it Puts
+	packagePuts := make(map[types.Object]bool)
+	type fnInfo struct {
+		decl *ast.FuncDecl
+		obj  types.Object
+		gets []poolCall
+		puts map[types.Object]bool
+	}
+	var fns []*fnInfo
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: u.Info.Defs[fd.Name], puts: make(map[types.Object]bool)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeObj(u.Info, call)
+				switch {
+				case methodOn(callee, "sync", "Pool", "Get"):
+					fi.gets = append(fi.gets, poolCall{call: call, pool: rootObj(u.Info, sel.X)})
+				case methodOn(callee, "sync", "Pool", "Put"):
+					pool := rootObj(u.Info, sel.X)
+					fi.puts[pool] = true
+					packagePuts[pool] = true
+				}
+				return true
+			})
+			if fi.obj != nil {
+				putsIn[fi.obj] = fi.puts
+			}
+			fns = append(fns, fi)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, fi := range fns {
+		if len(fi.gets) == 0 {
+			continue
+		}
+		// Effective puts: direct ones plus any same-package release
+		// helper this function calls (acquire/release split pattern).
+		effective := make(map[types.Object]bool)
+		for p := range fi.puts {
+			effective[p] = true
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeObj(u.Info, call); callee != nil && callee.Pkg() == u.Pkg {
+				for p := range putsIn[callee] {
+					effective[p] = true
+				}
+			}
+			return true
+		})
+		returned := returnedGetResults(u, fi.decl)
+		for _, g := range fi.gets {
+			switch {
+			case g.pool != nil && effective[g.pool]:
+				// paired locally or through a release helper
+			case returned[g.call]:
+				if g.pool != nil && !packagePuts[g.pool] {
+					diags = append(diags, diag(u, g.call.Pos(), "poolpair",
+						"%s returns this pool.Get() result but the package never Puts back to the pool",
+						fi.decl.Name.Name))
+				}
+			default:
+				diags = append(diags, diag(u, g.call.Pos(), "poolpair",
+					"pool.Get() in %s has no guaranteed Put: defer a Put (or a release helper) on every path, or return the object from a provider",
+					fi.decl.Name.Name))
+			}
+		}
+	}
+
+	diags = append(diags, poolResetDiags(u)...)
+	return diags
+}
+
+// returnedGetResults reports which Get calls in fd have their result
+// escape via a return statement: either returned directly
+// (return pool.Get().(*T)) or assigned to a variable that a return
+// mentions.
+func returnedGetResults(u *Unit, fd *ast.FuncDecl) map[*ast.CallExpr]bool {
+	// Get call -> variable object(s) its result lands in.
+	assigned := make(map[types.Object]*ast.CallExpr)
+	getUnder := func(e ast.Expr) *ast.CallExpr {
+		e = ast.Unparen(e)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok || !methodOn(calleeObj(u.Info, call), "sync", "Pool", "Get") {
+			return nil
+		}
+		return call
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call := getUnder(as.Rhs[0])
+		if call == nil || len(as.Lhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := u.Info.Defs[id]; obj != nil {
+				assigned[obj] = call
+			} else if obj := u.Info.Uses[id]; obj != nil {
+				assigned[obj] = call
+			}
+		}
+		return true
+	})
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call := getUnder(res); call != nil {
+				out[call] = true
+			}
+			// Only the object itself escaping counts: `return sc` is a
+			// provider, `return sc.n` still strands the scratch.
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if call, ok := assigned[u.Info.Uses[id]]; ok {
+					out[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// poolResetDiags checks the reset half of the invariant for every
+// sync.Pool composite literal whose New returns a pointer to a named
+// struct declared in this package.
+func poolResetDiags(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := u.Info.Types[cl]
+			if !ok {
+				return true
+			}
+			named := namedOf(tv.Type)
+			if named == nil || named.Obj().Name() != "Pool" ||
+				named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+				return true
+			}
+			elem := poolElemType(u, cl)
+			if elem == nil || elem.Obj().Pkg() != u.Pkg {
+				return true
+			}
+			if _, ok := elem.Underlying().(*types.Struct); !ok {
+				return true // buffers and slices have no state to reset
+			}
+			reset := lookupMethod(elem, "reset")
+			if reset == nil {
+				reset = lookupMethod(elem, "Reset")
+			}
+			if reset == nil {
+				diags = append(diags, diag(u, cl.Pos(), "poolpair",
+					"pooled scratch type %s has no reset/Reset method; pooled state must be cleared before reuse",
+					elem.Obj().Name()))
+				return true
+			}
+			if !methodCalled(u, reset) {
+				diags = append(diags, diag(u, cl.Pos(), "poolpair",
+					"pooled scratch type %s has %s but this package never calls it; reset must run before reuse",
+					elem.Obj().Name(), reset.Name()))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// poolElemType extracts the named type a pool's New constructor
+// returns, unwrapping the pointer.
+func poolElemType(u *Unit, pool *ast.CompositeLit) *types.Named {
+	for _, el := range pool.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var elem *types.Named
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 || elem != nil {
+				return true
+			}
+			if tv, ok := u.Info.Types[ret.Results[0]]; ok {
+				elem = namedOf(tv.Type)
+			}
+			return true
+		})
+		return elem
+	}
+	return nil
+}
+
+// lookupMethod finds a method by exact name on *T.
+func lookupMethod(named *types.Named, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// methodCalled reports whether the unit contains a call to fn.
+func methodCalled(u *Unit, fn *types.Func) bool {
+	for _, f := range u.Files {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeObj(u.Info, call) == fn {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package atomicfield fixtures the all-or-nothing atomic access rule:
+// once a field's address reaches sync/atomic, plain reads and writes
+// of it anywhere are findings; fields never touched atomically stay
+// free.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counters) hit() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counters) load() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counters) snapshot() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic`
+}
+
+func (c *counters) clear() {
+	c.hits = 0 // want `field hits is accessed via sync/atomic`
+	c.misses = 0
+}
+
+// misses is only ever accessed plainly — the near miss stays clean.
+func (c *counters) missed() int64 { return c.misses }

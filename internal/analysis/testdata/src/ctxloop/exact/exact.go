@@ -1,0 +1,91 @@
+// Package exact is a ctxloop fixture: its import path ends in a
+// scoped solver segment, so while-shaped loops in cancellation-bearing
+// functions must observe ctx.
+package exact
+
+import "context"
+
+func spinNoCheck(ctx context.Context, step func() bool) {
+	for { // want `loop in cancellation-bearing spinNoCheck can outlive its context`
+		if step() {
+			return
+		}
+	}
+}
+
+func spinChecked(ctx context.Context, step func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+func spinForwards(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+func spinSelects(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+		}
+	}
+}
+
+func cancelChan(cancel <-chan struct{}, step func() bool) {
+	for {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+func boundedScan(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // range loops are bounded by their operand: no finding
+		total += x
+	}
+	for i := 0; i < len(xs); i++ { // counted loops too
+		total += xs[i]
+	}
+	return total
+}
+
+// search models the exact solver's shape: the context lives on the
+// receiver and budget checks happen in a helper.
+type search struct {
+	ctx  context.Context
+	done bool
+}
+
+func (s *search) budget() bool { return s.ctx != nil && s.ctx.Err() != nil }
+
+func (s *search) run(step func()) {
+	for !s.done { // compliant: budget() transitively checks s.ctx
+		if s.budget() {
+			return
+		}
+		step()
+	}
+}
+
+func (s *search) runBlind(step func()) {
+	for !s.done { // want `loop in cancellation-bearing runBlind can outlive its context`
+		step()
+	}
+}

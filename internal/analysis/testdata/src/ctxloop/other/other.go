@@ -1,0 +1,14 @@
+// Package other is the ctxloop near-miss: the same loop shapes
+// outside the scoped solver packages (exact/ilp/lp/sched) produce no
+// findings.
+package other
+
+import "context"
+
+func spinNoCheck(ctx context.Context, step func() bool) {
+	for {
+		if step() {
+			return
+		}
+	}
+}

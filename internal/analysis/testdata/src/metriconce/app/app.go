@@ -1,0 +1,27 @@
+// Package app fixtures metriconce: duplicate family registrations,
+// non-constant family names, and fmt-built label values are findings;
+// distinct constant names and closed label sets are not.
+package app
+
+import (
+	"fmt"
+
+	"metriconce/metrics"
+)
+
+const familyName = "requests_total"
+
+func register(r *metrics.Registry, dynamic string) {
+	r.Counter(familyName, "total requests")
+	r.Counter("errors_total", "errors")
+	r.Counter(familyName, "duplicate") // want `exactly once per registry`
+	r.Counter(dynamic, "who knows")    // want `compile-time constant`
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 0 })
+}
+
+func labels(v *metrics.CounterVec, id int, class string) {
+	v.With(class).Inc()
+	v.With("interactive").Inc()
+	v.With(fmt.Sprintf("user-%d", id)).Inc() // want `unbounded cardinality`
+	v.Func(func() float64 { return 0 }, class)
+}

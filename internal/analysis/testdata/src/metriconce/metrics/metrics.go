@@ -1,0 +1,25 @@
+// Package metrics is a miniature stand-in for respect/internal/metrics:
+// the metriconce pass matches registries and vec handles by final
+// import-path segment and type name, so fixtures model the real API
+// shape without importing the real package.
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+func (v *CounterVec) Func(fn func() float64, values ...string) {}

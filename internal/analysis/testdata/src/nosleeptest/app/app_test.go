@@ -1,0 +1,20 @@
+package app
+
+import (
+	"testing"
+	"time"
+)
+
+type fakeClock struct{}
+
+func (fakeClock) Sleep(time.Duration) {}
+
+func TestSleeps(t *testing.T) {
+	time.Sleep(time.Millisecond) // want `time.Sleep in test code`
+}
+
+func TestFakeClock(t *testing.T) {
+	var c fakeClock
+	c.Sleep(time.Millisecond) // near miss: a Sleep method is not time.Sleep
+	nap()                     // calling production code that sleeps is not a test sleep
+}

@@ -1,0 +1,7 @@
+// Package app fixtures nosleeptest: sleeps in test files are
+// findings; production code (this file) is out of scope.
+package app
+
+import "time"
+
+func nap() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,10 @@
+// Package perf fixtures the harness extension of nosleeptest: the
+// perf package's non-test files are measurement code, so sleeps there
+// are findings too.
+package perf
+
+import "time"
+
+func settle() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep in test code`
+}

@@ -1,0 +1,101 @@
+// Package poolpair fixtures the sync.Pool pairing and reset rules:
+// Gets need a guaranteed Put (locally, via a release helper, or by a
+// provider whose package Puts), and pooled scratch structs need a
+// reset that the package actually calls.
+package poolpair
+
+import "sync"
+
+// scratch is the well-behaved pooled type: reset exists and is called.
+type scratch struct{ buf []int }
+
+func (s *scratch) reset() { s.buf = s.buf[:0] }
+
+var good = sync.Pool{New: func() any { return new(scratch) }}
+
+func pairedUse(n int) int {
+	sc := good.Get().(*scratch)
+	defer good.Put(sc)
+	sc.reset()
+	sc.buf = append(sc.buf, n)
+	return sc.buf[0]
+}
+
+// acquire/release split: the provider returns the object and the
+// package Puts it back in release.
+func acquire() *scratch { return good.Get().(*scratch) }
+
+func release(sc *scratch) {
+	sc.reset()
+	good.Put(sc)
+}
+
+func helperUse(n int) int {
+	sc := acquire()
+	defer release(sc)
+	sc.buf = append(sc.buf, n)
+	return sc.buf[0]
+}
+
+// leaky Gets without any Put on any path.
+type leaky struct{ n int }
+
+func (l *leaky) reset() { l.n = 0 }
+
+var leakPool = sync.Pool{New: func() any { return new(leaky) }}
+
+func leakyUse() int {
+	l := leakPool.Get().(*leaky) // want `no guaranteed Put`
+	l.reset()
+	return l.n
+}
+
+func leakRepaid(l *leaky) { leakPool.Put(l) }
+
+// orphanPool's provider escapes its Get but nothing in the package
+// ever Puts to the pool.
+type orphan struct{ n int }
+
+func (o *orphan) reset() { o.n = 0 }
+
+var orphanPool = sync.Pool{New: func() any { return new(orphan) }}
+
+func provideOrphan() *orphan {
+	o := orphanPool.Get().(*orphan) // want `the package never Puts back`
+	o.reset()
+	return o
+}
+
+// stale has no reset at all.
+type stale struct{ n int }
+
+var stalePool = sync.Pool{New: func() any { return new(stale) }} // want `has no reset/Reset method`
+
+func staleUse() int {
+	s := stalePool.Get().(*stale)
+	defer stalePool.Put(s)
+	return s.n
+}
+
+// unwiped has a reset the package never calls.
+type unwiped struct{ n int }
+
+func (u *unwiped) reset() { u.n = 0 }
+
+var unwipedPool = sync.Pool{New: func() any { return new(unwiped) }} // want `never calls it`
+
+func unwipedUse() int {
+	v := unwipedPool.Get().(*unwiped)
+	defer unwipedPool.Put(v)
+	return v.n
+}
+
+// bufPool's element is a slice, not a scratch struct: no reset
+// demanded (the near miss for the reset rule).
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func bufUse() int {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return cap(b)
+}

@@ -1,0 +1,29 @@
+// Package app fixtures the //lint:ignore machinery: a well-formed
+// suppression (pass + reason) silences a finding on its own line or
+// the line below; a missing reason or unknown pass name is itself a
+// finding and suppresses nothing.
+package app
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSuppressedStandalone(t *testing.T) {
+	//lint:ignore nosleeptest fixture: poll interval, bounded by the test deadline
+	time.Sleep(time.Millisecond)
+}
+
+func TestSuppressedTrailing(t *testing.T) {
+	time.Sleep(time.Millisecond) //lint:ignore nosleeptest fixture: trailing placement works too
+}
+
+func TestNoReason(t *testing.T) {
+	//lint:ignore nosleeptest
+	time.Sleep(time.Millisecond)
+}
+
+func TestUnknownPass(t *testing.T) {
+	//lint:ignore nosuchpass the pass name is wrong
+	time.Sleep(time.Millisecond)
+}

@@ -12,10 +12,8 @@ import (
 func TestSolveCtxCancellation(t *testing.T) {
 	g := models.MustLoad("InceptionResNetv2")
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		cancel()
-	}()
+	timer := time.AfterFunc(30*time.Millisecond, cancel)
+	defer timer.Stop()
 	start := time.Now()
 	// TieBreakCross makes the search long enough that only cancellation can
 	// end it this fast.
@@ -50,10 +48,8 @@ func TestSolveCtxDeadlineIntersectsTimeout(t *testing.T) {
 func TestSolveILPCtxCancellation(t *testing.T) {
 	g := models.MustLoad("ResNet152")
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		cancel()
-	}()
+	timer := time.AfterFunc(30*time.Millisecond, cancel)
+	defer timer.Stop()
 	start := time.Now()
 	_, err := SolveILPCtx(ctx, g, 6, ilp.Options{})
 	if elapsed := time.Since(start); elapsed > 5*time.Second {

@@ -152,9 +152,12 @@ func acquireScratch(n, numStages int, children bool) *scratch {
 	return sc
 }
 
-// releaseScratch returns the arena to the pool with its tables cleared,
-// so the next solve can never observe this solve's state.
-func releaseScratch(sc *scratch) {
+// reset clears the memo tables so the next solve can never observe
+// this solve's state. Clearing a map retains its buckets, which is what
+// repeated solves of similar graphs want, but an occasional huge search
+// must not pin its peak footprint forever — past memoRetainLimit the
+// tables are dropped instead.
+func (sc *scratch) reset() {
 	if len(sc.memo) > memoRetainLimit {
 		sc.memo = make(map[string]int64)
 	} else {
@@ -165,6 +168,11 @@ func releaseScratch(sc *scratch) {
 	} else {
 		clear(sc.pareto)
 	}
+}
+
+// releaseScratch returns the arena to the pool with its tables cleared.
+func releaseScratch(sc *scratch) {
+	sc.reset()
 	scratchPool.Put(sc)
 }
 

@@ -201,7 +201,7 @@ func validateSequence(g *graph.Graph, seq []int, numStages int) error {
 		return fmt.Errorf("sched: numStages = %d", numStages)
 	}
 	sc := dpPool.Get().(*dpScratch)
-	defer dpPool.Put(sc)
+	defer releaseDP(sc)
 	seen := growBool(&sc.seen, n)
 	for i := range seen {
 		seen[i] = false
@@ -232,6 +232,23 @@ type dpScratch struct {
 }
 
 var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// reset truncates the pooled tables before the scratch goes back to the
+// pool: capacity is retained so the next solve reuses the allocations,
+// but no stale window of a previous solve's values stays reachable.
+func (sc *dpScratch) reset() {
+	sc.prefix = sc.prefix[:0]
+	sc.prev = sc.prev[:0]
+	sc.cur = sc.cur[:0]
+	sc.cut = sc.cut[:0]
+	sc.seen = sc.seen[:0]
+}
+
+// releaseDP resets sc and returns it to the pool.
+func releaseDP(sc *dpScratch) {
+	sc.reset()
+	dpPool.Put(sc)
+}
 
 func grow64(buf *[]int64, n int) []int64 {
 	if cap(*buf) < n {
@@ -279,7 +296,7 @@ func growBool(buf *[]bool, n int) []bool {
 func dpSegment(g *graph.Graph, order []int, numStages int) Schedule {
 	n := len(order)
 	sc := dpPool.Get().(*dpScratch)
-	defer dpPool.Put(sc)
+	defer releaseDP(sc)
 
 	prefix := grow64(&sc.prefix, n+1)
 	prefix[0] = 0

@@ -510,6 +510,7 @@ func waitFor(t *testing.T, cond func() bool) {
 		if time.Now().After(deadline) {
 			t.Fatal("condition never became true")
 		}
+		//lint:ignore nosleeptest deadline-bounded poll interval in the shared waitFor helper
 		time.Sleep(time.Millisecond)
 	}
 }

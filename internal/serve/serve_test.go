@@ -343,6 +343,7 @@ type sleepIgnoringCtx struct {
 
 func (b sleepIgnoringCtx) Name() string { return b.name }
 func (b sleepIgnoringCtx) Schedule(ctx context.Context, g *graph.Graph, numStages int) (sched.Schedule, error) {
+	//lint:ignore nosleeptest the fixture deliberately ignores cancellation to hold its admission slot
 	time.Sleep(b.d)
 	return sched.Schedule{}, context.DeadlineExceeded
 }
