@@ -115,6 +115,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		peersList   = fs.String("peers", "", "comma-separated replica URLs; enables fleet mode (consistent-hash sharding, request forwarding, popularity gossip)")
 		advertise   = fs.String("advertise", "", "this replica's URL as its peers reach it (required with -peers)")
 		noGossip    = fs.Bool("no-gossip", false, "in fleet mode, disable the popularity gossip exchange (sharding and forwarding stay on)")
+		onlineOn    = fs.Bool("online", false, "enable the online learning loop: solved requests feed per-class replay buffers, background rounds train candidates, shadow-evaluated winners hot-reload into the class portfolios")
+		onlineIvl   = fs.Duration("online-interval", 0, "online training-round period (0 keeps the default, 30s)")
+		onlineMgn   = fs.Float64("online-margin", 0, "relative held-out improvement a candidate must show to be promoted (0 keeps the default, 0.02)")
+		onlineBuf   = fs.Int("online-buffer", 0, "per-class replay-buffer capacity (0 keeps the default, 4096)")
 		rtOn        = fs.Bool("rt", false, "enable the periodic-task mode: register (model, period, deadline) streams on POST /v1/periodic")
 		rtPolicy    = fs.String("rt-policy", "edf", `periodic queue discipline: "fifo", "rm" or "edf"`)
 		rtUtilBound = fs.Float64("rt-util-bound", 0, "override the schedulability utilization bound (0 keeps the policy default and the response-time analysis)")
@@ -128,11 +132,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
+	var agent *ptrnet.Model
 	if *agentPath != "" {
 		m, err := ptrnet.LoadFile(*agentPath)
 		if err != nil {
 			return err
 		}
+		agent = m
 		ecfg := embed.Default()
 		for _, b := range []solver.Scheduler{
 			solver.RL(m, ecfg),
@@ -186,6 +192,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Enabled:   *rtOn,
 			Policy:    *rtPolicy,
 			UtilBound: *rtUtilBound,
+		},
+		Online: serve.OnlineConfig{
+			Enabled:   *onlineOn,
+			Agent:     agent, // the -agent weights seed every class incumbent
+			Interval:  *onlineIvl,
+			Margin:    *onlineMgn,
+			BufferCap: *onlineBuf,
 		},
 		Cluster: serve.ClusterConfig{
 			Advertise:     *advertise,

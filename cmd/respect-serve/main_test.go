@@ -577,3 +577,73 @@ func TestRunPprofFlag(t *testing.T) {
 		t.Fatal("want pprof listen error")
 	}
 }
+
+// TestRunOnlineFlag boots the binary with the learning loop enabled and
+// checks the wiring end to end: the per-class online backends are
+// registered and raced, solved requests land in the replay buffer, and
+// the online stats block and metric families are exposed.
+func TestRunOnlineFlag(t *testing.T) {
+	base, _, cancel, done := startServe(t, "-online", "-online-interval", "1h", "-online-margin", "0.05", "-online-buffer", "128")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Post(base+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model":"MobileNet","stages":4,"class":"interactive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+
+	bresp, err := http.Get(base + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpage, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if !strings.Contains(string(bpage), `"rl-online-interactive"`) {
+		t.Fatalf("backends listing lacks the online backend:\n%s", bpage)
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Online *struct {
+			Classes map[string]struct {
+				Backend string `json:"backend"`
+				Samples uint64 `json:"samples"`
+			} `json:"classes"`
+		} `json:"online"`
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err := json.Unmarshal(sbody, &st); err != nil {
+		t.Fatalf("decode %s: %v", sbody, err)
+	}
+	if st.Online == nil {
+		t.Fatalf("stats online block missing:\n%s", sbody)
+	}
+	cs, ok := st.Online.Classes["interactive"]
+	if !ok || cs.Samples != 1 || cs.Backend != "rl-online-interactive" {
+		t.Fatalf("online interactive class state: %+v (body %s)", cs, sbody)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`respect_online_samples_total{class="interactive"} 1`,
+		"respect_online_train_rounds_total 0",
+		`respect_online_promotions_total{class="interactive",result="promoted"} 0`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, page)
+		}
+	}
+}

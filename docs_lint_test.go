@@ -79,6 +79,7 @@ func TestDocsRelativeLinks(t *testing.T) {
 var docCheckedPackages = []string{
 	"internal/analysis",
 	"internal/cluster",
+	"internal/online",
 	"internal/rt",
 	"internal/serve",
 	"internal/solver",

@@ -6,12 +6,13 @@ import (
 	"go/types"
 )
 
-// ctxloopScope names the solver packages (by final import-path
-// segment) whose loops must observe cancellation: the exact, ILP and
-// LP search engines and the scheduling DP. PR 1 plumbed
-// deadline/cancel through these loops by hand; this pass keeps them
-// honest.
-var ctxloopScope = map[string]bool{"exact": true, "ilp": true, "lp": true, "sched": true}
+// ctxloopScope names the packages (by final import-path segment) whose
+// loops must observe cancellation: the exact, ILP and LP search
+// engines, the scheduling DP, and the online training loop (whose
+// rounds run gradient steps between ctx checks). PR 1 plumbed
+// deadline/cancel through the solver loops by hand; this pass keeps
+// them honest.
+var ctxloopScope = map[string]bool{"exact": true, "ilp": true, "lp": true, "online": true, "sched": true}
 
 // ctxloopRun enforces the cancellation-reaches-every-search-loop
 // invariant. In scope are functions that bear a cancellation signal: a

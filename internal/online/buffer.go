@@ -1,0 +1,196 @@
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/sched"
+)
+
+// Sample is one solved request observed by the serving path: the graph,
+// the portfolio's winning backend and schedule (the imitation teacher),
+// its cost, and the solve latency. Periodic-mode jobs additionally
+// carry their deadline outcome from the rt dispatcher.
+type Sample struct {
+	// Class is the traffic class the request was admitted under.
+	Class string
+	// Graph is the scheduled model graph.
+	Graph *graph.Graph
+	// Fingerprint is Graph.Fingerprint(), recorded for dedup-free
+	// attribution in stats and tests.
+	Fingerprint uint64
+	// Stages is the pipeline depth of the solve.
+	Stages int
+	// Backend names the portfolio backend that won the race.
+	Backend string
+	// Schedule is the winning schedule (the teacher signal).
+	Schedule sched.Schedule
+	// Cost is the winning schedule's objective.
+	Cost sched.Cost
+	// Latency is the solve wall time.
+	Latency time.Duration
+	// CacheHit records whether the result came from the class cache.
+	CacheHit bool
+	// Periodic marks samples from the rt dispatcher's periodic job path.
+	Periodic bool
+	// DeadlineMiss is set on periodic samples whose job finished past
+	// its deadline; the learner down-weights these teachers.
+	DeadlineMiss bool
+}
+
+// holdoutEvery routes every holdoutEvery-th sample (per class, by
+// arrival index) to the held-out shadow-evaluation slice instead of the
+// training ring, giving a deterministic split the trainer never sees.
+const holdoutEvery = 4
+
+// classBuffer is one class's partition: a training ring and a smaller
+// held-out ring, both capacity-bounded.
+type classBuffer struct {
+	train     []Sample
+	trainNext int
+	hold      []Sample
+	holdNext  int
+	seen      uint64 // arrival index within the class
+
+	added atomic.Uint64 // lifetime samples; read lock-free by metrics
+}
+
+// Buffer is the capacity-bounded, class-partitioned replay buffer. The
+// class set is fixed at construction: metrics bind per-class counters
+// to it, and samples for unknown classes are counted as dropped rather
+// than silently growing the partition map.
+type Buffer struct {
+	mu      sync.Mutex
+	cap     int
+	holdCap int
+	classes map[string]*classBuffer
+
+	dropped atomic.Uint64
+}
+
+// NewBuffer builds a buffer with the given per-class training capacity
+// for the given classes. A non-positive capacity defaults to 4096.
+func NewBuffer(capacity int, classes []string) *Buffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	holdCap := capacity / holdoutEvery
+	if holdCap < 1 {
+		holdCap = 1
+	}
+	b := &Buffer{cap: capacity, holdCap: holdCap, classes: make(map[string]*classBuffer, len(classes))}
+	for _, c := range classes {
+		b.classes[c] = &classBuffer{}
+	}
+	return b
+}
+
+// Add records one sample, evicting the oldest entry of its partition
+// when the ring is full. Samples for classes outside the configured set
+// are dropped (and counted).
+func (b *Buffer) Add(s Sample) {
+	b.mu.Lock()
+	cb, ok := b.classes[s.Class]
+	if !ok {
+		b.mu.Unlock()
+		b.dropped.Add(1)
+		return
+	}
+	// The buffer owns its teacher schedules: callers reuse theirs for
+	// the response they are writing.
+	s.Schedule = s.Schedule.Clone()
+	if cb.seen%holdoutEvery == holdoutEvery-1 {
+		if len(cb.hold) < b.holdCap {
+			cb.hold = append(cb.hold, s)
+		} else {
+			cb.hold[cb.holdNext%len(cb.hold)] = s
+			cb.holdNext++
+		}
+	} else {
+		if len(cb.train) < b.cap {
+			cb.train = append(cb.train, s)
+		} else {
+			cb.train[cb.trainNext%len(cb.train)] = s
+			cb.trainNext++
+		}
+	}
+	cb.seen++
+	b.mu.Unlock()
+	cb.added.Add(1)
+}
+
+// Samples returns the lifetime sample count for a class (0 for unknown
+// classes).
+func (b *Buffer) Samples(class string) uint64 {
+	b.mu.Lock()
+	cb, ok := b.classes[class]
+	b.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return cb.added.Load()
+}
+
+// Dropped returns the count of samples rejected for naming a class
+// outside the configured set.
+func (b *Buffer) Dropped() uint64 { return b.dropped.Load() }
+
+// Len returns the current training and held-out partition sizes for a
+// class.
+func (b *Buffer) Len(class string) (train, hold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cb, ok := b.classes[class]
+	if !ok {
+		return 0, 0
+	}
+	return len(cb.train), len(cb.hold)
+}
+
+// Minibatch samples up to n training entries for a class without
+// replacement, using the caller's RNG (the determinism seam: a seeded
+// RNG makes the draw replayable).
+func (b *Buffer) Minibatch(class string, n int, rng interface{ Intn(int) int }) []Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cb, ok := b.classes[class]
+	if !ok || len(cb.train) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(cb.train) {
+		n = len(cb.train)
+	}
+	// Partial Fisher-Yates over an index view: O(n) swaps, no
+	// replacement, deterministic under a seeded rng.
+	idx := make([]int, len(cb.train))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Sample, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = cb.train[idx[i]]
+	}
+	return out
+}
+
+// Holdout returns a copy of the class's held-out slice (up to max
+// entries, newest retained by the ring).
+func (b *Buffer) Holdout(class string, max int) []Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cb, ok := b.classes[class]
+	if !ok {
+		return nil
+	}
+	n := len(cb.hold)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Sample, n)
+	copy(out, cb.hold[:n])
+	return out
+}

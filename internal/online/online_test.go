@@ -1,0 +1,326 @@
+package online
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"respect/internal/graph"
+	"respect/internal/rl"
+	"respect/internal/rt"
+	"respect/internal/solver"
+)
+
+// intree builds a binary-reduction DAG (every node has at most one
+// successor), the graph family on which deployed schedule cost is
+// genuinely order-sensitive — see the matching helper in internal/rl.
+func intree(t testing.TB, leaves int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("intree")
+	var cur []int
+	for i := 0; i < leaves; i++ {
+		cur = append(cur, g.AddNode(graph.Node{Name: "leaf", ParamBytes: int64(50 + rng.Intn(400)), OutBytes: int64(5 + rng.Intn(40))}))
+	}
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			v := g.AddNode(graph.Node{Name: "merge", ParamBytes: int64(50 + rng.Intn(400)), OutBytes: int64(5 + rng.Intn(40))})
+			g.AddEdge(cur[i], v)
+			g.AddEdge(cur[i+1], v)
+			next = append(next, v)
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return g.MustBuild()
+}
+
+// teacherSample solves g with the heuristic backend — the portfolio
+// winner in a serving deployment — and wraps it as a recorded sample.
+func teacherSample(t testing.TB, class string, g *graph.Graph, stages int) Sample {
+	t.Helper()
+	heur, err := solver.Lookup("heur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heur.Schedule(context.Background(), g, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Sample{
+		Class:    class,
+		Graph:    g,
+		Stages:   stages,
+		Backend:  "heur",
+		Schedule: s,
+		Cost:     s.Evaluate(g),
+		Latency:  time.Millisecond,
+	}
+}
+
+func TestBufferCapacityAndPartition(t *testing.T) {
+	b := NewBuffer(8, []string{"a"})
+	g := intree(t, 4, 1)
+	for i := 0; i < 40; i++ {
+		b.Add(Sample{Class: "a", Graph: g, Schedule: teacherSample(t, "a", g, 2).Schedule})
+	}
+	train, hold := b.Len("a")
+	if train > 8 {
+		t.Fatalf("training ring exceeded capacity: %d", train)
+	}
+	if hold < 1 || hold > 2 {
+		t.Fatalf("holdout fill %d, want 1..2 (cap/holdoutEvery)", hold)
+	}
+	if got := b.Samples("a"); got != 40 {
+		t.Fatalf("lifetime samples %d, want 40", got)
+	}
+	b.Add(Sample{Class: "zzz", Graph: g})
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", b.Dropped())
+	}
+	if got := b.Samples("zzz"); got != 0 {
+		t.Fatalf("unknown class counted: %d", got)
+	}
+}
+
+func TestBufferMinibatchDeterministic(t *testing.T) {
+	b := NewBuffer(32, []string{"a"})
+	for i := 0; i < 20; i++ {
+		b.Add(Sample{Class: "a", Graph: intree(t, 4, int64(i)), Fingerprint: uint64(i)})
+	}
+	draw := func() []uint64 {
+		rng := rand.New(rand.NewSource(5))
+		var fps []uint64
+		for _, s := range b.Minibatch("a", 6, rng) {
+			fps = append(fps, s.Fingerprint)
+		}
+		return fps
+	}
+	a, c := draw(), draw()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same seed, different minibatch: %v vs %v", a, c)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, fp := range a {
+		if seen[fp] {
+			t.Fatalf("minibatch drew with replacement: %v", a)
+		}
+		seen[fp] = true
+	}
+}
+
+// testConfig is a fast, promotion-friendly manager configuration bound
+// to a private registry.
+func testConfig(classes ...string) Config {
+	return Config{
+		Registry:   solver.NewRegistry(),
+		Classes:    classes,
+		Margin:     0.01,
+		MinSamples: 12,
+		BatchSize:  6,
+		Steps:      40,
+		Hidden:     16,
+		Seed:       7,
+	}
+}
+
+// feed replays a deterministic skewed workload (three graphs, 6:3:1)
+// into the manager.
+func feed(t testing.TB, m *Manager, class string, n int) {
+	t.Helper()
+	graphs := []*graph.Graph{intree(t, 8, 11), intree(t, 7, 12), intree(t, 6, 13)}
+	samples := make([]Sample, len(graphs))
+	for i, g := range graphs {
+		samples[i] = teacherSample(t, class, g, 4)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i%10 < 6:
+			m.Record(samples[0])
+		case i%10 < 9:
+			m.Record(samples[1])
+		default:
+			m.Record(samples[2])
+		}
+	}
+}
+
+func TestRoundSkipsBelowMinSamples(t *testing.T) {
+	m, err := New(testConfig("interactive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, "interactive", 5)
+	res := m.Round(context.Background())
+	if len(res) != 1 || res[0].Skipped == "" {
+		t.Fatalf("expected skip, got %+v", res)
+	}
+	if m.TrainRounds() != 0 {
+		t.Fatalf("skipped round counted as training: %d", m.TrainRounds())
+	}
+}
+
+func TestRoundPromotesAndHotReloads(t *testing.T) {
+	cfg := testConfig("interactive")
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, "interactive", 60)
+
+	name := BackendName("interactive")
+	seed := m.learners["interactive"].incumbent.Clone()
+	holdout := m.buf.Holdout("interactive", 0)
+	if len(holdout) == 0 {
+		t.Fatal("no holdout slice after feed")
+	}
+
+	var promoted bool
+	var lastGap float64
+	for round := 0; round < 6 && !promoted; round++ {
+		res := m.Round(context.Background())
+		promoted = res[0].Promoted
+		lastGap = res[0].Gap
+	}
+	if !promoted {
+		t.Fatalf("no promotion within 6 rounds (last gap %.4f, stats %+v)", lastGap, m.Stats())
+	}
+	if m.Promotions("interactive") < 1 {
+		t.Fatalf("promotions counter %d", m.Promotions("interactive"))
+	}
+	if m.TrainRounds() < 1 {
+		t.Fatal("train rounds not counted")
+	}
+
+	// Promotion ratchets on the holdout mean: the served incumbent must
+	// now score strictly better than the seed agent on the held-out
+	// slice (that is the promotion criterion, applied transitively).
+	inc := m.learners["interactive"].incumbent
+	if got, was := m.scoreModel(inc, holdout), m.scoreModel(seed, holdout); got >= was {
+		t.Fatalf("promoted incumbent holdout score %.2f, seed %.2f: no improvement", got, was)
+	}
+
+	// Hot reload: the registry backend must produce exactly what the
+	// promoted incumbent decodes, not the seed agent's output.
+	after, err := cfg.Registry.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := intree(t, 8, 11)
+	backendSched, err := after.Schedule(context.Background(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incSched, err := rl.Schedule(inc, m.ecfg, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range backendSched.Stage {
+		if st != incSched.Stage[i] {
+			t.Fatalf("registry backend diverges from promoted incumbent at node %d: %d vs %d", i, st, incSched.Stage[i])
+		}
+	}
+}
+
+func TestAdversarialMarginRejects(t *testing.T) {
+	cfg := testConfig("interactive")
+	cfg.Margin = 1e9 // unattainable: every candidate must be rejected
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, "interactive", 60)
+	res := m.Round(context.Background())
+	if res[0].Promoted {
+		t.Fatalf("promotion under an unattainable margin: %+v", res[0])
+	}
+	if m.Rejections("interactive") != 1 || m.Promotions("interactive") != 0 {
+		t.Fatalf("rejections=%d promotions=%d", m.Rejections("interactive"), m.Promotions("interactive"))
+	}
+	st := m.Stats()
+	if st.Classes["interactive"].Rejections != 1 {
+		t.Fatalf("stats rejections: %+v", st.Classes["interactive"])
+	}
+}
+
+func TestRoundDeterministic(t *testing.T) {
+	run := func() []RoundResult {
+		m, err := New(testConfig("interactive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, m, "interactive", 60)
+		var all []RoundResult
+		for i := 0; i < 2; i++ {
+			all = append(all, m.Round(context.Background())...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunLoopFiresOnClock(t *testing.T) {
+	clock := rt.NewFakeClock(time.Unix(0, 0))
+	cfg := testConfig("interactive")
+	cfg.Clock = clock
+	cfg.Interval = time.Minute
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, m, "interactive", 30)
+
+	fired := make(chan struct{}, 8)
+	m.roundHook = func() { fired <- struct{}{} }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	// Run arms its timer on its own goroutine: keep advancing until the
+	// tick lands (an Advance before the arm is simply absorbed).
+	awaitRound := func() {
+		for {
+			clock.Advance(time.Minute)
+			select {
+			case <-fired:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+	awaitRound()
+	if m.TrainRounds() < 1 {
+		t.Fatalf("train rounds %d after a tick", m.TrainRounds())
+	}
+	awaitRound()
+	cancel()
+	<-done
+}
+
+func TestUnknownClassAccessors(t *testing.T) {
+	m, err := New(testConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Promotions("nope") != 0 || m.Rejections("nope") != 0 || m.ShadowGap("nope") != 0 {
+		t.Fatal("unknown class accessors must be zero")
+	}
+	if got := m.Classes(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("classes %v", got)
+	}
+}

@@ -1,11 +1,30 @@
 package ptrnet
 
 import (
+	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
+
+// weightsMagic opens every versioned weights file. The byte after it is
+// the schema version. Files written before the header existed start
+// directly with a gob stream, which never begins with these bytes, so
+// the two formats are distinguishable from the first read.
+var weightsMagic = []byte("RSPTWTS\n")
+
+// WeightsVersion is the weights-file schema version this build writes
+// and accepts. ReadWeights rejects any other version outright — a hot
+// reload must never interpret a stale-format file silently.
+const WeightsVersion = 1
+
+// maxWeightsDim bounds Config dimensions accepted from a weights file.
+// It is far above anything the paper uses (hidden 256) and keeps a
+// corrupted or adversarial header from driving New into a huge
+// allocation or a panic.
+const maxWeightsDim = 4096
 
 // snapshot is the gob wire format for a serialized model.
 type snapshot struct {
@@ -14,8 +33,15 @@ type snapshot struct {
 	Shapes  [][2]int
 }
 
-// Write serializes the model weights.
-func (m *Model) Write(w io.Writer) error {
+// WriteWeights serializes the model in the versioned wire format:
+// an 8-byte magic, a version byte, then the gob-encoded snapshot.
+func WriteWeights(w io.Writer, m *Model) error {
+	if _, err := w.Write(weightsMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{WeightsVersion}); err != nil {
+		return err
+	}
 	snap := snapshot{Cfg: m.Cfg}
 	for _, p := range m.Params() {
 		snap.Weights = append(snap.Weights, append([]float64(nil), p.Data...))
@@ -24,13 +50,49 @@ func (m *Model) Write(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// ReadFrom deserializes a model previously written with Write.
-func ReadFrom(r io.Reader) (*Model, error) {
+// ReadWeights deserializes a model written with WriteWeights. Files
+// from before the header existed (a bare gob stream) are still
+// accepted; a file that carries the magic but a different version is
+// rejected. Corrupted or truncated input yields an error, never a
+// panic — the online promotion path feeds this from untrusted disk
+// state.
+func ReadWeights(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(weightsMagic))
+	if err == nil && string(head) == string(weightsMagic) {
+		if _, err := br.Discard(len(weightsMagic)); err != nil {
+			return nil, err
+		}
+		ver, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("ptrnet: truncated weights header: %w", err)
+		}
+		if ver != WeightsVersion {
+			return nil, fmt.Errorf("ptrnet: weights schema version %d, this build reads %d", ver, WeightsVersion)
+		}
+	} else if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, err
+	}
+	// No magic: legacy pre-header file; the gob stream starts at the
+	// current read position either way.
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("ptrnet: decode: %w", err)
 	}
-	m := New(snap.Cfg)
+	return modelFromSnapshot(snap)
+}
+
+// modelFromSnapshot validates a decoded snapshot before materializing
+// it; every field is attacker-controlled from ReadWeights' view.
+func modelFromSnapshot(snap snapshot) (*Model, error) {
+	cfg := snap.Cfg
+	if cfg.InputDim < 1 || cfg.InputDim > maxWeightsDim || cfg.Hidden < 1 || cfg.Hidden > maxWeightsDim {
+		return nil, fmt.Errorf("ptrnet: snapshot config %+v out of range [1,%d]", cfg, maxWeightsDim)
+	}
+	if len(snap.Weights) != len(snap.Shapes) {
+		return nil, fmt.Errorf("ptrnet: snapshot has %d tensors but %d shapes", len(snap.Weights), len(snap.Shapes))
+	}
+	m := New(cfg)
 	ps := m.Params()
 	if len(ps) != len(snap.Weights) {
 		return nil, fmt.Errorf("ptrnet: snapshot has %d tensors, model has %d", len(snap.Weights), len(ps))
@@ -39,9 +101,24 @@ func ReadFrom(r io.Reader) (*Model, error) {
 		if snap.Shapes[i] != [2]int{p.Rows, p.Cols} {
 			return nil, fmt.Errorf("ptrnet: tensor %d shape %v, want %dx%d", i, snap.Shapes[i], p.Rows, p.Cols)
 		}
+		if len(snap.Weights[i]) != p.Rows*p.Cols {
+			return nil, fmt.Errorf("ptrnet: tensor %d has %d values, want %d", i, len(snap.Weights[i]), p.Rows*p.Cols)
+		}
 		copy(p.Data, snap.Weights[i])
 	}
 	return m, nil
+}
+
+// Write serializes the model weights in the versioned format
+// (see WriteWeights).
+func (m *Model) Write(w io.Writer) error {
+	return WriteWeights(w, m)
+}
+
+// ReadFrom deserializes a model previously written with Write or
+// WriteWeights, accepting legacy headerless files (see ReadWeights).
+func ReadFrom(r io.Reader) (*Model, error) {
+	return ReadWeights(r)
 }
 
 // SaveFile writes the model to path.

@@ -168,7 +168,7 @@ func TestScheduleDeploymentPath(t *testing.T) {
 }
 
 func TestTrainingDeterministic(t *testing.T) {
-	run := func() float64 {
+	run := func() (float64, []float64) {
 		cfg := smallCfg(42)
 		cfg.Iterations = 10
 		tr, err := NewTrainer(cfg)
@@ -178,10 +178,27 @@ func TestTrainingDeterministic(t *testing.T) {
 		if err := tr.Train(nil); err != nil {
 			t.Fatal(err)
 		}
-		return tr.EvalGreedy(tr.Model)
+		var flat []float64
+		for _, p := range tr.Model.Params() {
+			flat = append(flat, p.Data...)
+		}
+		return tr.EvalGreedy(tr.Model), flat
 	}
-	if a, b := run(), run(); a != b {
+	a, aw := run()
+	b, bw := run()
+	if a != b {
 		t.Fatalf("same seed, different outcomes: %v vs %v", a, b)
+	}
+	// Same seed must mean bitwise-identical weights, not merely equal
+	// eval scores — the online promotion pipeline relies on replayable
+	// training.
+	if len(aw) != len(bw) {
+		t.Fatalf("param counts differ: %d vs %d", len(aw), len(bw))
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("same seed, weights diverge at %d: %v vs %v", i, aw[i], bw[i])
+		}
 	}
 }
 

@@ -32,6 +32,11 @@ type Timer interface {
 	Stop()
 }
 
+// WallClock returns the production Clock: real time. Packages that
+// take an injectable Clock (the rt dispatcher, the online learning
+// loop) default to it.
+func WallClock() Clock { return wallClock{} }
+
 // wallClock is the production Clock: real time.
 type wallClock struct{}
 

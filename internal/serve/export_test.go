@@ -1,5 +1,7 @@
 package serve
 
+import "respect/internal/online"
+
 // SetQueuedHook installs f as the named class's admission queuedHook: f
 // runs on a waiter's goroutine right after it takes a queue token. The
 // external test package uses it to observe the parked state without
@@ -8,3 +10,8 @@ package serve
 func (s *Server) SetQueuedHook(class Class, f func()) {
 	s.classes[class].adm.queuedHook = f
 }
+
+// Online exposes the learning-loop manager (nil when the loop is off):
+// the external e2e tests drive training rounds synchronously instead of
+// waiting on the background interval.
+func (s *Server) Online() *online.Manager { return s.onlineMgr }

@@ -512,6 +512,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if hit && st.spec != nil {
 		specHit = st.spec.AttributeHit(g.Fingerprint(), numStages)
 	}
+	if override == nil {
+		s.recordSolve(class, g, numStages, res, solve, hit)
+	}
 	total := s.observeRequest(class, outcomeOK, arrival)
 	resp := ScheduleResponse{
 		Graph:          g.Name,

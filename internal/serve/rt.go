@@ -85,6 +85,7 @@ func (s *Server) initRT() error {
 		Estimate:  s.rtEstimate,
 		OnComplete: func(res rt.JobResult) {
 			s.rtTardiness.Observe(res.Tardiness.Seconds())
+			s.recordRTOutcome(res)
 		},
 		Logf: s.logf,
 	})
@@ -122,7 +123,22 @@ func (s *Server) runRTJob(ctx context.Context, j rt.Job) error {
 	defer release()
 	runCtx, cancel := context.WithTimeout(ctx, p.st.policy.Budget)
 	defer cancel()
-	_, _, err = p.st.engine.Run(runCtx, p.g, p.stages)
+	solveStart := time.Now()
+	res, hit, err := p.st.engine.Run(runCtx, p.g, p.stages)
+	if err == nil && s.onlineMgr != nil {
+		// Park the solve; the dispatcher's OnComplete joins it with the
+		// deadline outcome and records the replay sample.
+		s.rtSolves.put(j.Seq, rtSolve{
+			class:    p.class,
+			graph:    p.g,
+			stages:   p.stages,
+			backend:  res.Backend,
+			schedule: res.Schedule,
+			cost:     res.Cost,
+			latency:  time.Since(solveStart),
+			cacheHit: hit,
+		})
+	}
 	return err
 }
 

@@ -61,6 +61,7 @@ import (
 
 	"respect/internal/metrics"
 	"respect/internal/models"
+	"respect/internal/online"
 	"respect/internal/rt"
 	"respect/internal/solver"
 	"respect/internal/speculate"
@@ -168,6 +169,11 @@ type Config struct {
 	// set with request forwarding and popularity gossip. The zero value
 	// (no peers) leaves the server standalone.
 	Cluster ClusterConfig
+	// Online enables the learning loop: solved requests feed a replay
+	// buffer, background training rounds produce candidate agents, and
+	// shadow-evaluated winners hot-reload into the class portfolios. The
+	// zero value leaves it off.
+	Online OnlineConfig
 	// Logf, when set, receives service log lines (warm-up, shutdown).
 	Logf func(format string, args ...any)
 }
@@ -215,6 +221,12 @@ type Server struct {
 	// sharding and the forwarding counters.
 	cluster *clusterState
 
+	// Learning loop (nil unless Config.Online.Enabled): the replay
+	// buffer + trainer + promotion manager, and the parking lot joining
+	// periodic solves with their deadline outcomes.
+	onlineMgr *online.Manager
+	rtSolves  rtSolves
+
 	// Periodic-task mode (nil/zero unless Config.RT.Enabled): the
 	// dispatcher, the rt metric families and the cost-estimate quantile.
 	rtDisp      *rt.Dispatcher
@@ -253,6 +265,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Classes == nil {
 		cfg.Classes = DefaultClasses()
 	}
+	// The learning loop comes up before class policies are validated: it
+	// registers the rl-online-<class> backends and appends them to each
+	// class's portfolio, so the class loop below sees resolvable names.
+	var onlineMgr *online.Manager
+	if cfg.Online.Enabled {
+		mgr, classes, err := newOnlineManager(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: online: %w", err)
+		}
+		onlineMgr, cfg.Classes = mgr, classes
+	}
 	if len(cfg.WarmModels) > 0 {
 		known := make(map[string]bool)
 		for _, name := range models.Names() {
@@ -270,6 +293,7 @@ func New(cfg Config) (*Server, error) {
 		classes:     make(map[Class]*classState, len(cfg.Classes)),
 		start:       time.Now(),
 		batchCaches: solver.NewCacheSet(solver.Default(), cfg.CacheSize),
+		onlineMgr:   onlineMgr,
 	}
 	for class, policy := range cfg.Classes {
 		if class == "" {
@@ -304,6 +328,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.initMetrics()
+	s.initOnlineMetrics()
 	if err := s.initSpeculation(); err != nil {
 		return nil, err
 	}
@@ -482,6 +507,8 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	}()
 	stopSpec := s.runSpeculators(ctx)
 	defer stopSpec()
+	stopOnline := s.runOnline(ctx)
+	defer stopOnline()
 	stopRT, err := s.runRT(ctx)
 	if err != nil {
 		return err
@@ -509,6 +536,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	warmCancel()
 	<-warmDone
 	stopSpec()
+	stopOnline()
 	stopRT()
 	<-clusterDone // ctx is done, so the membership loops have exited
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -548,6 +576,9 @@ type Stats struct {
 	// Cluster is the fleet membership/forwarding snapshot; absent when
 	// clustering is disabled.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Online is the learning-loop snapshot (buffer fills, promotions,
+	// shadow gaps); absent when the loop is disabled.
+	Online *online.Stats `json:"online,omitempty"`
 }
 
 // Stats snapshots admission, cache and request counters.
@@ -565,6 +596,10 @@ func (s *Server) Stats() Stats {
 	if s.rtDisp != nil {
 		rts := s.rtDisp.Stats()
 		out.RT = &rts
+	}
+	if s.onlineMgr != nil {
+		ost := s.onlineMgr.Stats()
+		out.Online = &ost
 	}
 	out.Cluster = s.ClusterStats()
 	for class, st := range s.classes {
